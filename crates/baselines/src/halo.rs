@@ -1,0 +1,222 @@
+//! HALO-style locality-enhancing reordering + UVM traversal.
+//!
+//! HALO ("Traversing Large Graphs on GPUs with Unified Memory", VLDB 2020,
+//! the paper's reference \[21\]) keeps the UVM machinery but *reorders the CSR* so that vertices
+//! that are traversed together store their neighbour lists on the same
+//! pages, cutting page thrashing. Its source is not public; the paper
+//! compares against published numbers (Table 3). We reproduce the
+//! published mechanism with a BFS-rank relabeling from a high-degree
+//! root: a BFS level's vertices receive consecutive ids, so a level's
+//! edge reads walk contiguous pages instead of spraying across the edge
+//! list.
+//!
+//! Preprocessing time is *not* charged to traversal, matching how such
+//! systems report results (EMOGI's §5.6 measurement includes only kernel
+//! and data-movement time for HALO).
+
+use emogi_core::traversal::BfsRun;
+use emogi_core::{TraversalConfig, TraversalSystem};
+use emogi_graph::{algo, CsrGraph, VertexId, UNVISITED};
+
+/// Compute the HALO-style permutation: `perm[old] = new`.
+///
+/// BFS ranks from the highest-degree vertex; remaining components are
+/// appended in discovery order from their own highest-degree roots.
+pub fn locality_reorder(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut perm = vec![UNVISITED; n];
+    let mut next_id: u32 = 0;
+    // Roots in decreasing degree order.
+    let mut by_degree: Vec<u32> = (0..n as u32).collect();
+    by_degree.sort_unstable_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    let mut queue = std::collections::VecDeque::new();
+    for root in by_degree {
+        if perm[root as usize] != UNVISITED {
+            continue;
+        }
+        perm[root as usize] = next_id;
+        next_id += 1;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &d in g.neighbors(v) {
+                if perm[d as usize] == UNVISITED {
+                    perm[d as usize] = next_id;
+                    next_id += 1;
+                    queue.push_back(d);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(next_id as usize, n);
+    perm
+}
+
+/// A graph pre-processed with the locality reordering, traversed via UVM.
+pub struct HaloSystem {
+    reordered: CsrGraph,
+    perm: Vec<VertexId>,
+    weights: Option<Vec<u32>>,
+    cfg: TraversalConfig,
+}
+
+impl HaloSystem {
+    /// Reorder `graph` (preprocessing) and prepare a UVM traversal
+    /// configuration on the given machine.
+    pub fn new(cfg: TraversalConfig, graph: &CsrGraph, weights: Option<&[u32]>) -> Self {
+        let perm = locality_reorder(graph);
+        let reordered = graph.relabel(&perm);
+        // Weights follow their edges: rebuild per reordered edge. The
+        // relabel sorts neighbour lists, so recover the mapping by
+        // matching (src, dst) pairs through the permutation.
+        let weights = weights.map(|w| {
+            let mut out = vec![0u32; w.len()];
+            for v in 0..graph.num_vertices() as u32 {
+                let nv = perm[v as usize];
+                let new_start = reordered.neighbor_start(nv);
+                // Old neighbours mapped to new ids, with their weights.
+                let start = graph.neighbor_start(v);
+                let mut pairs: Vec<(u32, u32)> = graph
+                    .neighbors(v)
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &d)| (perm[d as usize], w[start as usize + k]))
+                    .collect();
+                pairs.sort_unstable_by_key(|&(d, _)| d);
+                for (k, (_, wt)) in pairs.into_iter().enumerate() {
+                    out[new_start as usize + k] = wt;
+                }
+            }
+            out
+        });
+        Self {
+            reordered,
+            perm,
+            weights,
+            cfg,
+        }
+    }
+
+    pub fn reordered_graph(&self) -> &CsrGraph {
+        &self.reordered
+    }
+
+    /// Run BFS from `src` (an *original* vertex id); levels come back in
+    /// original id space.
+    pub fn bfs(&self, src: VertexId) -> BfsRun {
+        let mut sys = TraversalSystem::new(
+            self.cfg.clone(),
+            &self.reordered,
+            self.weights.as_deref(),
+        );
+        let run = sys.bfs(self.perm[src as usize]);
+        let levels = (0..self.perm.len())
+            .map(|v| run.levels[self.perm[v] as usize])
+            .collect();
+        BfsRun {
+            levels,
+            stats: run.stats,
+        }
+    }
+
+    /// Check the reordering preserved reachability (test helper).
+    pub fn verify_against(&self, original: &CsrGraph, src: VertexId) -> bool {
+        self.bfs(src).levels == algo::bfs_levels(original, src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emogi_core::EdgePlacement;
+    use emogi_graph::generators;
+
+    fn uvm_cfg() -> TraversalConfig {
+        TraversalConfig::uvm_v100()
+    }
+
+    #[test]
+    fn reorder_is_a_permutation() {
+        let g = generators::web_crawl(500, 8, 50, 0.8, 3);
+        let perm = locality_reorder(&g);
+        let mut seen = vec![false; 500];
+        for &p in &perm {
+            assert!(!std::mem::replace(&mut seen[p as usize], true));
+        }
+    }
+
+    #[test]
+    fn bfs_results_map_back_to_original_ids() {
+        let g = generators::uniform_random(400, 6, 9);
+        let halo = HaloSystem::new(uvm_cfg(), &g, None);
+        assert!(halo.verify_against(&g, 7));
+    }
+
+    #[test]
+    fn reordering_improves_frontier_locality() {
+        // Measure the spread of neighbour-list offsets across one BFS
+        // level before and after reordering: the reordered graph must
+        // pack a level's lists into fewer pages.
+        let g = generators::social(4_096, 6, 5);
+        let levels = emogi_graph::algo::bfs_levels(&g, 0);
+        let pages = |g: &CsrGraph, members: &[u32]| {
+            let mut p: Vec<u64> = members
+                .iter()
+                .flat_map(|&v| {
+                    let s = g.neighbor_start(v) * 8 / 4096;
+                    let e = (g.neighbor_end(v).max(g.neighbor_start(v) + 1) - 1) * 8 / 4096;
+                    s..=e
+                })
+                .collect();
+            p.sort_unstable();
+            p.dedup();
+            p.len()
+        };
+        let level2: Vec<u32> = (0..2_048u32).filter(|&v| levels[v as usize] == 2).collect();
+        let before = pages(&g, &level2);
+
+        let halo = HaloSystem::new(uvm_cfg(), &g, None);
+        let perm = locality_reorder(&g);
+        let level2_new: Vec<u32> = level2.iter().map(|&v| perm[v as usize]).collect();
+        let after = pages(halo.reordered_graph(), &level2_new);
+        assert!(
+            after < before,
+            "reordering should shrink the page footprint: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn weights_follow_their_edges() {
+        let g = generators::uniform_random(200, 4, 11);
+        let w = emogi_graph::datasets::generate_weights(g.num_edges(), 11);
+        let cfg = TraversalConfig::uvm_v100();
+        let halo = HaloSystem::new(cfg, &g, Some(&w));
+        let perm = locality_reorder(&g);
+        let rg = halo.reordered_graph();
+        let rw = halo.weights.as_ref().unwrap();
+        // Edge (v, d) with weight x must appear as (perm[v], perm[d], x).
+        for v in 0..200u32 {
+            let start = g.neighbor_start(v) as usize;
+            for (k, &d) in g.neighbors(v).iter().enumerate() {
+                let nv = perm[v as usize];
+                let nd = perm[d as usize];
+                let pos = rg
+                    .neighbors(nv)
+                    .iter()
+                    .position(|&x| x == nd)
+                    .expect("edge preserved");
+                let nstart = rg.neighbor_start(nv) as usize;
+                assert_eq!(rw[nstart + pos], w[start + k]);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_uses_uvm_not_zero_copy() {
+        let g = generators::uniform_random(300, 6, 2);
+        let halo = HaloSystem::new(uvm_cfg(), &g, None);
+        let run = halo.bfs(0);
+        assert_eq!(run.stats.pcie_read_requests, 0);
+        assert!(run.stats.pages_migrated > 0);
+        assert_eq!(halo.cfg.placement, EdgePlacement::Uvm);
+    }
+}

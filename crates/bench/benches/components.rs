@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks of the simulator's building blocks: the
+//! hot paths every experiment spends its wall-clock time in.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emogi_gpu::access::{AccessBatch, Space};
+use emogi_gpu::cache::{CacheConfig, SectoredCache};
+use emogi_gpu::coalesce::Coalescer;
+use emogi_sim::dram::{Dram, DramConfig};
+use emogi_sim::events::EventQueue;
+use emogi_sim::monitor::TrafficMonitor;
+use emogi_sim::pcie::{PcieConfig, PcieLink, ReadOutcome};
+
+fn bench_coalescer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coalescer");
+    for (name, mk) in [
+        ("merged_aligned", false),
+        ("strided", true),
+    ] {
+        let mut batch = AccessBatch::new();
+        for lane in 0..32u64 {
+            if mk {
+                batch.load(lane * 128, 8, Space::HostPinned);
+            } else {
+                batch.load(0x1000 + lane * 8, 8, Space::HostPinned);
+            }
+        }
+        g.throughput(Throughput::Elements(32));
+        g.bench_function(name, |b| {
+            let mut co = Coalescer::new();
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                co.coalesce(black_box(batch.items()), &mut out);
+                black_box(out.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    let cfg = CacheConfig {
+        capacity_bytes: 6 << 20,
+        ways: 16,
+        hit_latency_ns: 140,
+    };
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("probe_hit", |b| {
+        let mut cache = SectoredCache::new(&cfg);
+        cache.fill(0x1000, 0xF);
+        b.iter(|| black_box(cache.probe(0x1000, 0xF)));
+    });
+    g.bench_function("probe_miss_fill", |b| {
+        let mut cache = SectoredCache::new(&cfg);
+        let mut line = 0u64;
+        b.iter(|| {
+            line = line.wrapping_add(128);
+            cache.probe(line, 0xF);
+            cache.fill(line, 0xF);
+        });
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.push(i.wrapping_mul(2654435761) % n, i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    sum = sum.wrapping_add(v);
+                }
+                black_box(sum)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_pcie_link(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pcie_link");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("read_complete_cycle", |b| {
+        let mut link = PcieLink::new(PcieConfig::gen3_x16());
+        let mut dram = Dram::new(DramConfig::ddr4_2933_quad());
+        let mut mon = TrafficMonitor::new(1 << 20);
+        let mut now = 0u64;
+        let mut released = Vec::new();
+        b.iter(|| {
+            now += 10;
+            if let ReadOutcome::Issued { complete_at } =
+                link.read(now, 0, now % (1 << 20), 128, &mut dram, &mut mon)
+            {
+                link.complete(complete_at, 128, &mut dram, &mut mon, &mut released);
+                released.clear();
+            }
+            black_box(link.tags_in_use())
+        });
+    });
+    g.finish();
+}
+
+fn bench_graph_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.sample_size(10);
+    g.bench_function("kronecker_s14", |b| {
+        b.iter(|| black_box(emogi_graph::generators::kronecker(14, 16, 1).num_edges()));
+    });
+    g.bench_function("uniform_16k", |b| {
+        b.iter(|| black_box(emogi_graph::generators::uniform_random(16_384, 32, 1).num_edges()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coalescer,
+    bench_cache,
+    bench_event_queue,
+    bench_pcie_link,
+    bench_graph_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches that exercise each paper experiment end-to-end at
+//! reduced scale — one bench per table/figure family. These measure the
+//! simulator's wall-clock cost per experiment; the *simulated* results
+//! themselves are produced by the `repro` binary at full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emogi_bench::{experiments, Context};
+
+fn ctx() -> Context {
+    Context::new(1, 16)
+}
+
+fn bench_toy_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_request_patterns", |b| {
+        b.iter(|| experiments::run("fig3", &ctx()));
+    });
+    g.bench_function("fig4_toy_bandwidth", |b| {
+        b.iter(|| experiments::run("fig4", &ctx()));
+    });
+    g.bench_function("fig6_degree_cdf", |b| {
+        b.iter(|| experiments::run("fig6", &ctx()));
+    });
+    g.finish();
+}
+
+fn bench_case_study(c: &mut Criterion) {
+    let mut g = c.benchmark_group("case_study");
+    g.sample_size(10);
+    // One matrix drives figs 5/7/8/9/10; benchmark its computation.
+    g.bench_function("bfs_matrix_fig5_7_8_9_10", |b| {
+        b.iter(|| experiments::matrix::BfsMatrix::compute(&ctx()));
+    });
+    g.finish();
+}
+
+fn bench_apps_and_prior(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps");
+    g.sample_size(10);
+    g.bench_function("fig11_three_apps", |b| {
+        b.iter(|| experiments::run("fig11", &ctx()));
+    });
+    g.bench_function("fig12_pcie4_scaling", |b| {
+        b.iter(|| experiments::run("fig12", &ctx()));
+    });
+    g.bench_function("table3_halo_subway", |b| {
+        b.iter(|| experiments::run("table3", &ctx()));
+    });
+    g.finish();
+}
+
+fn bench_engines_single_bfs(c: &mut Criterion) {
+    use emogi_core::{AccessStrategy, TraversalConfig, TraversalSystem};
+    let g_data = emogi_graph::DatasetKey::Gu.spec().generate_scaled(16);
+    let mut g = c.benchmark_group("engine_bfs");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("uvm", TraversalConfig::uvm_v100()),
+        ("naive", TraversalConfig::emogi_v100().with_strategy(AccessStrategy::Naive)),
+        ("merged", TraversalConfig::emogi_v100().with_strategy(AccessStrategy::Merged)),
+        ("merged_aligned", TraversalConfig::emogi_v100()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sys = TraversalSystem::new(cfg.clone(), &g_data.graph, None);
+                sys.bfs(0).stats.elapsed_ns
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_toy_figures,
+    bench_case_study,
+    bench_apps_and_prior,
+    bench_engines_single_bfs
+);
+criterion_main!(benches);

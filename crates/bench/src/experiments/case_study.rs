@@ -1,0 +1,164 @@
+//! Figures 5, 7, 8, 9, 10 — the §5.3 BFS case study, all derived from the
+//! shared [`BfsMatrix`].
+
+use super::matrix::{BfsMatrix, Engine};
+use crate::table::{f, ms, pct};
+use crate::{Context, Table};
+use emogi_core::toy;
+use emogi_graph::DatasetKey;
+use emogi_runtime::MachineConfig;
+
+/// Figure 5: distribution of PCIe read request sizes in BFS.
+pub fn fig5(m: &BfsMatrix) -> Table {
+    let mut t = Table::new(
+        "fig5",
+        "PCIe read request size distribution in BFS",
+        &["graph", "impl", "32B", "64B", "96B", "128B"],
+    );
+    for g in DatasetKey::all() {
+        for e in Engine::zero_copy() {
+            let h = &m.get(g, e).sizes;
+            t.row(vec![
+                g.spec().symbol.into(),
+                e.name().into(),
+                pct(h.fraction(32)),
+                pct(h.fraction(64)),
+                pct(h.fraction(96)),
+                pct(h.fraction(128)),
+            ]);
+        }
+    }
+    t.note("paper: Naive is ~all 32B; Merged reaches ~40% 128B on average (46.7% on ML); +Aligned raises the 128B share further except on GU (uniform low degrees cannot amortize the alignment fix)");
+    t
+}
+
+/// Figure 7: total number of PCIe read requests in BFS.
+pub fn fig7(m: &BfsMatrix) -> Table {
+    let mut t = Table::new(
+        "fig7",
+        "Total PCIe read requests in BFS (all sources)",
+        &["graph", "Naive", "Merged", "Merged+Aligned", "merge cut", "align cut"],
+    );
+    for g in DatasetKey::all() {
+        let n = m.get(g, Engine::Naive).requests;
+        let mg = m.get(g, Engine::Merged).requests;
+        let al = m.get(g, Engine::MergedAligned).requests;
+        t.row(vec![
+            g.spec().symbol.into(),
+            n.to_string(),
+            mg.to_string(),
+            al.to_string(),
+            pct(1.0 - mg as f64 / n as f64),
+            pct(1.0 - al as f64 / mg as f64),
+        ]);
+    }
+    t.note("paper: merging cuts requests by up to 83.3% vs Naive; alignment by up to a further 28.8% (ML)");
+    t
+}
+
+/// Figure 8: average PCIe bandwidth during BFS.
+pub fn fig8(ctx: &Context, m: &BfsMatrix) -> Table {
+    let mut t = Table::new(
+        "fig8",
+        "Average PCIe bandwidth during BFS (GB/s)",
+        &["graph", "UVM", "Naive", "Merged", "Merged+Aligned"],
+    );
+    for g in DatasetKey::all() {
+        t.row(vec![
+            g.spec().symbol.into(),
+            f(m.get(g, Engine::Uvm).avg_pcie_gbps),
+            f(m.get(g, Engine::Naive).avg_pcie_gbps),
+            f(m.get(g, Engine::Merged).avg_pcie_gbps),
+            f(m.get(g, Engine::MergedAligned).avg_pcie_gbps),
+        ]);
+    }
+    let peak = toy::run_memcpy_reference(
+        MachineConfig::v100_gen3(),
+        (64 << 20) / ctx.scale as u64,
+    );
+    t.note(format!("cudaMemcpy peak on this link: {} GB/s (paper: 12.3)", f(peak)));
+    t.note("paper: UVM ~9, Naive up to 4.7, Merged ~11, +Aligned adds 0.5-1 GB/s; averages at 1/1000 scale sit lower because short kernel launches leave latency-bound phases unamortized");
+    t
+}
+
+/// Figure 9: BFS performance normalized to the UVM baseline.
+pub fn fig9(m: &BfsMatrix) -> Table {
+    let mut t = Table::new(
+        "fig9",
+        "BFS speedup over UVM baseline",
+        &["graph", "Naive", "Merged", "Merged+Aligned", "time UVM (ms)", "time M+A (ms)"],
+    );
+    let mut avg = [0.0f64; 3];
+    for g in DatasetKey::all() {
+        let s: Vec<f64> = Engine::zero_copy()
+            .iter()
+            .map(|&e| m.speedup_vs_uvm(g, e))
+            .collect();
+        for (a, v) in avg.iter_mut().zip(&s) {
+            *a += v;
+        }
+        t.row(vec![
+            g.spec().symbol.into(),
+            f(s[0]),
+            f(s[1]),
+            f(s[2]),
+            ms(m.get(g, Engine::Uvm).avg_ns as u64),
+            ms(m.get(g, Engine::MergedAligned).avg_ns as u64),
+        ]);
+    }
+    let n = DatasetKey::all().len() as f64;
+    t.row(vec![
+        "Avg".into(),
+        f(avg[0] / n),
+        f(avg[1] / n),
+        f(avg[2] / n),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.note("paper averages: Naive 0.73x, Merged 3.24x, Merged+Aligned 3.56x; SK stands out low because it almost fits in GPU memory");
+    t
+}
+
+/// Figure 10: I/O read amplification, UVM vs EMOGI.
+pub fn fig10(m: &BfsMatrix) -> Table {
+    let mut t = Table::new(
+        "fig10",
+        "I/O read amplification in BFS (host bytes moved / dataset size)",
+        &["graph", "UVM", "EMOGI (Merged+Aligned)"],
+    );
+    for g in DatasetKey::all() {
+        t.row(vec![
+            g.spec().symbol.into(),
+            f(m.get(g, Engine::Uvm).avg_amplification),
+            f(m.get(g, Engine::MergedAligned).avg_amplification),
+        ]);
+    }
+    t.note("paper: UVM up to 5.16x (FS), 2.28x on ML, 1.14x on SK (almost fits); EMOGI never exceeds 1.31x. Scaled graphs have shallower BFS trees, so UVM re-migration (and thus its amplification) is milder here — the UVM baseline is, if anything, flattered");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_tables_have_expected_shape() {
+        let ctx = Context::new(1, 32);
+        let m = BfsMatrix::compute(&ctx);
+        assert_eq!(fig5(&m).rows.len(), 18);
+        assert_eq!(fig7(&m).rows.len(), 6);
+        assert_eq!(fig8(&ctx, &m).rows.len(), 6);
+        assert_eq!(fig9(&m).rows.len(), 7); // 6 graphs + average
+        assert_eq!(fig10(&m).rows.len(), 6);
+    }
+
+    #[test]
+    fn emogi_amplification_stays_low_even_at_tiny_scale() {
+        let ctx = Context::new(1, 32);
+        let m = BfsMatrix::compute(&ctx);
+        for g in DatasetKey::all() {
+            let amp = m.get(g, Engine::MergedAligned).avg_amplification;
+            assert!(amp < 2.0, "{g:?} amplification {amp}");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! One module per group of related experiments; `run` dispatches on the
+//! experiment id used by the `repro` binary.
+
+pub mod ablations;
+pub mod apps;
+pub mod case_study;
+pub mod matrix;
+pub mod misc;
+pub mod prior;
+pub mod toy;
+
+use crate::{Context, Table};
+
+/// All experiment ids in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "table3", "ablations",
+];
+
+/// Run one experiment by id. The BFS case-study figures (5, 7–10) share
+/// one measurement matrix; when invoked individually each recomputes it.
+pub fn run(id: &str, ctx: &Context) -> Vec<Table> {
+    match id {
+        "table1" => vec![misc::table1()],
+        "table2" => vec![misc::table2(ctx)],
+        "fig3" => vec![toy::fig3(ctx)],
+        "fig4" => vec![toy::fig4(ctx)],
+        "fig6" => vec![misc::fig6(ctx)],
+        "fig5" | "fig7" | "fig8" | "fig9" | "fig10" => {
+            let m = matrix::BfsMatrix::compute(ctx);
+            vec![match id {
+                "fig5" => case_study::fig5(&m),
+                "fig7" => case_study::fig7(&m),
+                "fig8" => case_study::fig8(ctx, &m),
+                "fig9" => case_study::fig9(&m),
+                _ => case_study::fig10(&m),
+            }]
+        }
+        "fig11" => vec![apps::fig11(ctx)],
+        "fig12" => vec![apps::fig12(ctx)],
+        "table3" => vec![prior::table3(ctx)],
+        "ablations" => ablations::all(ctx),
+        other => panic!("unknown experiment id {other:?} (known: {ALL_IDS:?})"),
+    }
+}
+
+/// Run the full evaluation, computing the shared matrix once.
+pub fn run_all(ctx: &Context) -> Vec<Table> {
+    let mut out = vec![misc::table1(), misc::table2(ctx), toy::fig3(ctx), toy::fig4(ctx)];
+    let m = matrix::BfsMatrix::compute(ctx);
+    out.push(case_study::fig5(&m));
+    out.push(misc::fig6(ctx));
+    out.push(case_study::fig7(&m));
+    out.push(case_study::fig8(ctx, &m));
+    out.push(case_study::fig9(&m));
+    out.push(case_study::fig10(&m));
+    out.push(apps::fig11_with_bfs(ctx, Some(&m)));
+    out.push(apps::fig12(ctx));
+    out.push(prior::table3(ctx));
+    out.extend(ablations::all(ctx));
+    out
+}

@@ -1,0 +1,56 @@
+//! Lazy, cached dataset generation shared across experiments.
+
+use emogi_graph::{Dataset, DatasetKey};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Generates each Table 2 dataset at most once per harness run.
+#[derive(Debug, Clone)]
+pub struct DatasetStore {
+    scale: usize,
+    cache: Rc<RefCell<HashMap<DatasetKey, Rc<Dataset>>>>,
+}
+
+impl DatasetStore {
+    pub fn new(scale: usize) -> Self {
+        Self {
+            scale,
+            cache: Rc::new(RefCell::new(HashMap::new())),
+        }
+    }
+
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+
+    /// Fetch (generating on first use) one dataset.
+    pub fn get(&self, key: DatasetKey) -> Rc<Dataset> {
+        if let Some(d) = self.cache.borrow().get(&key) {
+            return Rc::clone(d);
+        }
+        let d = Rc::new(key.spec().generate_scaled(self.scale));
+        self.cache.borrow_mut().insert(key, Rc::clone(&d));
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_generates_once_and_shares() {
+        let store = DatasetStore::new(64);
+        let a = store.get(DatasetKey::Gu);
+        let b = store.get(DatasetKey::Gu);
+        assert!(Rc::ptr_eq(&a, &b), "second fetch must reuse the first");
+    }
+
+    #[test]
+    fn scale_divisor_shrinks_graphs() {
+        let big = DatasetStore::new(32).get(DatasetKey::Gu);
+        let small = DatasetStore::new(64).get(DatasetKey::Gu);
+        assert!(small.graph.num_vertices() < big.graph.num_vertices());
+    }
+}

@@ -1,0 +1,140 @@
+//! Result tables: terminal rendering and markdown export for
+//! EXPERIMENTS.md.
+
+use std::fmt;
+
+/// One experiment's output table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Stable identifier ("fig9", "table3", ...).
+    pub id: &'static str,
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (paper reference values, modelling caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(id: &'static str, title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Markdown rendering (used to build EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {}\n", n));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== [{}] {} ==", self.id, self.title)?;
+        let w = self.widths();
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with sensible precision for table cells.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Format a fraction as a percentage cell.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Format nanoseconds as milliseconds.
+pub fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_text_and_markdown() {
+        let mut t = Table::new("figX", "demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let txt = t.to_string();
+        assert!(txt.contains("figX"));
+        assert!(txt.contains("hello"));
+        let md = t.to_markdown();
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("> hello"));
+    }
+
+    #[test]
+    fn float_formatting_adapts_precision() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(4.567), "4.57");
+        assert_eq!(f(31.41), "31.4");
+        assert_eq!(f(314.1), "314");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(ms(2_500_000), "2.50");
+    }
+}

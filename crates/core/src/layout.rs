@@ -1,0 +1,170 @@
+//! Where a graph's pieces live on the machine.
+//!
+//! EMOGI's placement (§4.2): "The edge list is allocated in the host
+//! memory as it doesn't fit in GPU memory, but other small data structures
+//! such as buffers and the vertex list are allocated in GPU memory." The
+//! UVM baseline (§5.1.2) differs only in putting the edge list (and the
+//! weight list, for SSSP) into the managed space.
+
+use emogi_graph::CsrGraph;
+use emogi_gpu::access::Space;
+use emogi_runtime::Machine;
+
+/// Which memory mechanism serves the edge list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgePlacement {
+    /// EMOGI: pinned host memory, zero-copy cache-line reads.
+    ZeroCopyHost,
+    /// Baseline: UVM-managed memory, 4 KiB page migration on fault.
+    Uvm,
+}
+
+impl EdgePlacement {
+    pub fn space(self) -> Space {
+        match self {
+            EdgePlacement::ZeroCopyHost => Space::HostPinned,
+            EdgePlacement::Uvm => Space::Managed,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgePlacement::ZeroCopyHost => "zero-copy",
+            EdgePlacement::Uvm => "UVM",
+        }
+    }
+}
+
+/// Simulated addresses of every array a traversal kernel touches.
+#[derive(Debug, Clone)]
+pub struct GraphLayout {
+    /// Edge list base (host-pinned or managed).
+    pub edge_base: u64,
+    /// Edge weights base (same space as the edge list); only present when
+    /// the layout was built with weights.
+    pub weight_base: Option<u64>,
+    /// Vertex list (CSR offsets) in device memory, 8-byte entries.
+    pub vertex_base: u64,
+    /// Status array (BFS level / SSSP distance / CC label) in device
+    /// memory, 4-byte entries.
+    pub status_base: u64,
+    /// Simulated size of one edge element (8 by default; 4 in the §5.6
+    /// Subway comparison).
+    pub elem_bytes: u64,
+    /// Space the edge and weight arrays live in.
+    pub edge_space: Space,
+}
+
+impl GraphLayout {
+    /// Allocate the arrays for `graph` on `machine` per the placement
+    /// discipline above.
+    pub fn place(
+        machine: &mut Machine,
+        graph: &CsrGraph,
+        elem_bytes: u64,
+        placement: EdgePlacement,
+        with_weights: bool,
+    ) -> GraphLayout {
+        assert!(elem_bytes == 4 || elem_bytes == 8, "CSR elements are 4 or 8 bytes");
+        let edge_bytes = graph.num_edges() as u64 * elem_bytes;
+        let weight_bytes = graph.num_edges() as u64 * 4;
+        let (edge_base, weight_base) = match placement {
+            EdgePlacement::ZeroCopyHost => (
+                machine.alloc_host_pinned(edge_bytes),
+                with_weights.then(|| machine.alloc_host_pinned(weight_bytes)),
+            ),
+            EdgePlacement::Uvm => (
+                machine.alloc_managed(edge_bytes),
+                with_weights.then(|| machine.alloc_managed(weight_bytes)),
+            ),
+        };
+        let vertex_base = machine.alloc_device(graph.vertex_list_bytes());
+        let status_base = machine.alloc_device(graph.num_vertices() as u64 * 4);
+        GraphLayout {
+            edge_base,
+            weight_base,
+            vertex_base,
+            status_base,
+            elem_bytes,
+            edge_space: placement.space(),
+        }
+    }
+
+    /// Elements per 128-byte cache line (16 for 8-byte, 32 for 4-byte).
+    #[inline]
+    pub fn elems_per_line(&self) -> u64 {
+        128 / self.elem_bytes
+    }
+
+    /// Address of edge-list element `i`.
+    #[inline]
+    pub fn edge_addr(&self, i: u64) -> u64 {
+        self.edge_base + i * self.elem_bytes
+    }
+
+    /// Address of weight element `i`.
+    #[inline]
+    pub fn weight_addr(&self, i: u64) -> u64 {
+        self.weight_base.expect("layout has no weights") + i * 4
+    }
+
+    /// Device address of vertex-list entry `v`.
+    #[inline]
+    pub fn vertex_addr(&self, v: u64) -> u64 {
+        self.vertex_base + v * 8
+    }
+
+    /// Device address of the status entry for vertex `v`.
+    #[inline]
+    pub fn status_addr(&self, v: u64) -> u64 {
+        self.status_base + v * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emogi_graph::generators;
+    use emogi_runtime::machine::MachineConfig;
+    use emogi_runtime::{DEVICE_BASE, HOST_BASE, MANAGED_BASE};
+
+    #[test]
+    fn zero_copy_placement_uses_pinned_host() {
+        let mut m = Machine::new(MachineConfig::v100_gen3());
+        let g = generators::uniform_random(1000, 8, 1);
+        let l = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, true);
+        assert!(l.edge_base >= HOST_BASE);
+        assert!(l.weight_base.unwrap() >= HOST_BASE);
+        assert!(l.vertex_base >= DEVICE_BASE && l.vertex_base < HOST_BASE);
+        assert_eq!(l.elems_per_line(), 16);
+        assert_eq!(l.edge_addr(2), l.edge_base + 16);
+        assert_eq!(l.weight_addr(2), l.weight_base.unwrap() + 8);
+    }
+
+    #[test]
+    fn uvm_placement_uses_managed_space() {
+        let mut m = Machine::new(MachineConfig::v100_gen3());
+        let g = generators::uniform_random(1000, 8, 1);
+        let l = GraphLayout::place(&mut m, &g, 8, EdgePlacement::Uvm, false);
+        assert!(l.edge_base >= MANAGED_BASE);
+        assert!(l.weight_base.is_none());
+        assert_eq!(l.edge_space, Space::Managed);
+    }
+
+    #[test]
+    fn four_byte_elements() {
+        let mut m = Machine::new(MachineConfig::v100_gen3());
+        let g = generators::uniform_random(100, 4, 1);
+        let l = GraphLayout::place(&mut m, &g, 4, EdgePlacement::ZeroCopyHost, false);
+        assert_eq!(l.elems_per_line(), 32);
+        assert_eq!(l.edge_addr(3), l.edge_base + 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "4 or 8")]
+    fn bad_element_size_rejected() {
+        let mut m = Machine::new(MachineConfig::v100_gen3());
+        let g = generators::uniform_random(10, 2, 1);
+        let _ = GraphLayout::place(&mut m, &g, 16, EdgePlacement::ZeroCopyHost, false);
+    }
+}

@@ -1,0 +1,53 @@
+//! # emogi-core — EMOGI: zero-copy graph traversal
+//!
+//! The paper's contribution, §4: traverse graphs whose edge list lives in
+//! *pinned host memory*, accessed zero-copy at cache-line granularity,
+//! with two kernel-level optimizations:
+//!
+//! * **Merged** (§4.3.1) — a full 32-thread warp works on one vertex's
+//!   neighbour list, so the coalescing unit emits maximum-size 128-byte
+//!   PCIe requests;
+//! * **Aligned** (§4.3.2) — each warp shifts its first access down to the
+//!   preceding 128-byte boundary, masking the underflowing lanes, so a
+//!   misaligned list start costs one partial request instead of
+//!   cascading misalignment through the whole list.
+//!
+//! The unoptimized **Naive** strategy (thread-per-vertex, Listing 1) is
+//! retained as the paper's own strawman.
+//!
+//! [`compressed`] adds the paper's §6 extension: traversal over
+//! delta-varint-compressed neighbour lists, trading idle-lane compute for
+//! interconnect bytes.
+//!
+//! # Example
+//!
+//! ```
+//! use emogi_core::{TraversalConfig, TraversalSystem};
+//! use emogi_graph::{algo, generators};
+//!
+//! let graph = generators::uniform_random(2_000, 8, 7);
+//! let mut emogi = TraversalSystem::new(TraversalConfig::emogi_v100(), &graph, None);
+//! let run = emogi.bfs(0);
+//! assert_eq!(run.levels, algo::bfs_levels(&graph, 0));
+//! assert!(run.stats.avg_pcie_gbps > 0.0);
+//! ```
+//!
+//! All three strategies drive the same BFS / SSSP / CC kernels
+//! ([`bfs`], [`sssp`], [`cc`]) through [`traversal::TraversalSystem`],
+//! which also runs them against UVM-managed memory (the baseline) by
+//! changing nothing but the edge list's placement. [`toy`] reproduces the
+//! §3.3 microbenchmark behind Figures 3 and 4.
+
+pub mod bfs;
+pub mod cc;
+pub mod compressed;
+pub mod layout;
+pub mod sssp;
+pub mod strategy;
+pub mod toy;
+pub mod traversal;
+pub mod walk;
+
+pub use layout::{EdgePlacement, GraphLayout};
+pub use strategy::AccessStrategy;
+pub use traversal::{TraversalSystem, TraversalConfig};

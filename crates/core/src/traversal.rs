@@ -1,0 +1,330 @@
+//! The traversal system: machine setup + multi-launch drivers for BFS,
+//! SSSP and CC.
+//!
+//! One `TraversalSystem` owns a simulated machine with a graph placed on
+//! it (§4.2's layout) and runs complete traversals, launching one kernel
+//! per BFS level / SSSP relaxation round / CC hook pass, mirroring the
+//! paper's execution structure. Between launches it charges the
+//! device-side vertex scan that selects active vertices (the kernels
+//! iterate over all vertices and test their status, §2.1 Algorithm 1).
+
+use crate::bfs::BfsKernel;
+use crate::cc::{shortcut, CcKernel};
+use crate::layout::{EdgePlacement, GraphLayout};
+use crate::sssp::{SsspKernel, INF};
+use crate::strategy::AccessStrategy;
+use emogi_graph::{CsrGraph, VertexId, UNVISITED};
+use emogi_runtime::exec::run_kernel;
+use emogi_runtime::machine::MachineConfig;
+use emogi_runtime::report::RunStats;
+use emogi_runtime::Machine;
+
+/// How to build a [`TraversalSystem`].
+#[derive(Debug, Clone)]
+pub struct TraversalConfig {
+    pub machine: MachineConfig,
+    pub strategy: AccessStrategy,
+    pub placement: EdgePlacement,
+    /// Simulated edge element size: 8 by default, 4 for the Subway
+    /// comparison (§5.6).
+    pub elem_bytes: u64,
+}
+
+impl TraversalConfig {
+    /// EMOGI as evaluated: V100, PCIe 3.0, merged + aligned zero-copy.
+    pub fn emogi_v100() -> Self {
+        Self {
+            machine: MachineConfig::v100_gen3(),
+            strategy: AccessStrategy::MergedAligned,
+            placement: EdgePlacement::ZeroCopyHost,
+            elem_bytes: 8,
+        }
+    }
+
+    /// The paper's optimized UVM baseline: same kernels, edge list in
+    /// managed memory with read-duplication (§5.1.2 (a)).
+    pub fn uvm_v100() -> Self {
+        Self {
+            machine: MachineConfig::v100_gen3(),
+            strategy: AccessStrategy::Merged,
+            placement: EdgePlacement::Uvm,
+            elem_bytes: 8,
+        }
+    }
+
+    pub fn with_strategy(mut self, s: AccessStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    pub fn with_machine(mut self, m: MachineConfig) -> Self {
+        self.machine = m;
+        self
+    }
+
+    pub fn with_elem_bytes(mut self, b: u64) -> Self {
+        self.elem_bytes = b;
+        self
+    }
+}
+
+/// Result of one full BFS.
+#[derive(Debug, Clone)]
+pub struct BfsRun {
+    pub levels: Vec<u32>,
+    pub stats: RunStats,
+}
+
+/// Result of one full SSSP.
+#[derive(Debug, Clone)]
+pub struct SsspRun {
+    pub dist: Vec<u32>,
+    pub stats: RunStats,
+}
+
+/// Result of one full CC.
+#[derive(Debug, Clone)]
+pub struct CcRun {
+    pub comp: Vec<u32>,
+    pub stats: RunStats,
+    pub hook_passes: u64,
+}
+
+/// A graph placed on a machine, ready to traverse.
+pub struct TraversalSystem<'g> {
+    pub machine: Machine,
+    graph: &'g CsrGraph,
+    weights: Option<&'g [u32]>,
+    layout: GraphLayout,
+    strategy: AccessStrategy,
+}
+
+impl<'g> TraversalSystem<'g> {
+    pub fn new(cfg: TraversalConfig, graph: &'g CsrGraph, weights: Option<&'g [u32]>) -> Self {
+        let mut machine = Machine::new(cfg.machine);
+        let layout = GraphLayout::place(
+            &mut machine,
+            graph,
+            cfg.elem_bytes,
+            cfg.placement,
+            weights.is_some(),
+        );
+        Self {
+            machine,
+            graph,
+            weights,
+            layout,
+            strategy: cfg.strategy,
+        }
+    }
+
+    pub fn layout(&self) -> &GraphLayout {
+        &self.layout
+    }
+
+    pub fn strategy(&self) -> AccessStrategy {
+        self.strategy
+    }
+
+    /// Edge-list bytes as placed (the Figure 10 denominator).
+    pub fn dataset_bytes(&self) -> u64 {
+        let mut b = self.graph.edge_list_bytes(self.layout.elem_bytes);
+        if self.layout.weight_base.is_some() {
+            b += self.graph.num_edges() as u64 * 4;
+        }
+        b
+    }
+
+    /// Device-side active-vertex scan before each launch.
+    fn charge_vertex_scan(&mut self) {
+        let bytes = self.graph.num_vertices() as u64 * 4;
+        self.machine.now = self.machine.hbm.read_bulk(self.machine.now, bytes);
+    }
+
+    /// Full BFS from `src`; one kernel launch per level.
+    pub fn bfs(&mut self, src: VertexId) -> BfsRun {
+        let snap = self.machine.snapshot();
+        let mut levels = vec![UNVISITED; self.graph.num_vertices()];
+        levels[src as usize] = 0;
+        let mut frontier = vec![src];
+        let mut launches = 0u64;
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            self.charge_vertex_scan();
+            let mut next = Vec::new();
+            let mut kernel = BfsKernel::new(
+                self.graph,
+                &self.layout,
+                self.strategy,
+                &mut levels,
+                level + 1,
+                &frontier,
+                &mut next,
+            );
+            run_kernel(&mut self.machine, &mut kernel);
+            launches += 1;
+            level += 1;
+            next.sort_unstable();
+            frontier = next;
+        }
+        BfsRun {
+            levels,
+            stats: self.machine.finish_run(&snap, launches),
+        }
+    }
+
+    /// Full SSSP from `src`; relaxation rounds until no distance changes.
+    pub fn sssp(&mut self, src: VertexId) -> SsspRun {
+        let weights = self.weights.expect("SSSP needs weights");
+        let snap = self.machine.snapshot();
+        let mut dist = vec![INF; self.graph.num_vertices()];
+        dist[src as usize] = 0;
+        let mut frontier = vec![src];
+        let mut launches = 0u64;
+        while !frontier.is_empty() {
+            self.charge_vertex_scan();
+            let mut next = Vec::new();
+            let mut kernel = SsspKernel::new(
+                self.graph,
+                weights,
+                &self.layout,
+                self.strategy,
+                &mut dist,
+                &frontier,
+                &mut next,
+            );
+            run_kernel(&mut self.machine, &mut kernel);
+            launches += 1;
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+        SsspRun {
+            dist,
+            stats: self.machine.finish_run(&snap, launches),
+        }
+    }
+
+    /// Full CC; hook passes over the whole edge list until stable, with a
+    /// device-side pointer-jumping shortcut after each pass.
+    pub fn cc(&mut self) -> CcRun {
+        let snap = self.machine.snapshot();
+        let n = self.graph.num_vertices();
+        let mut comp: Vec<u32> = (0..n as u32).collect();
+        let mut launches = 0u64;
+        let mut hook_passes = 0u64;
+        loop {
+            self.charge_vertex_scan();
+            let mut kernel = CcKernel::new(self.graph, &self.layout, self.strategy, &mut comp);
+            run_kernel(&mut self.machine, &mut kernel);
+            let changed = kernel.changed;
+            launches += 1;
+            hook_passes += 1;
+            // Shortcut passes touch the device label array only: charge
+            // two 4-byte streams (read + gather) per pass.
+            let jump_passes = shortcut(&mut comp);
+            for _ in 0..jump_passes {
+                self.machine.now = self
+                    .machine
+                    .hbm
+                    .read_bulk(self.machine.now, n as u64 * 8);
+            }
+            if !changed {
+                break;
+            }
+        }
+        CcRun {
+            comp,
+            stats: self.machine.finish_run(&snap, launches),
+            hook_passes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emogi_graph::datasets::generate_weights;
+    use emogi_graph::{algo, generators};
+
+    #[test]
+    fn emogi_bfs_matches_reference_end_to_end() {
+        let g = generators::kronecker(9, 8, 21);
+        let mut sys = TraversalSystem::new(TraversalConfig::emogi_v100(), &g, None);
+        let run = sys.bfs(1);
+        assert_eq!(run.levels, algo::bfs_levels(&g, 1));
+        assert!(run.stats.elapsed_ns > 0);
+        assert!(run.stats.kernel_launches > 0);
+        assert!(run.stats.pcie_read_requests > 0);
+        assert_eq!(run.stats.page_faults, 0, "zero-copy never faults");
+    }
+
+    #[test]
+    fn uvm_bfs_matches_reference_and_faults() {
+        let g = generators::kronecker(9, 8, 21);
+        let mut sys = TraversalSystem::new(TraversalConfig::uvm_v100(), &g, None);
+        let run = sys.bfs(1);
+        assert_eq!(run.levels, algo::bfs_levels(&g, 1));
+        assert!(run.stats.page_faults > 0, "UVM must fault pages in");
+        assert!(run.stats.pages_migrated > 0);
+        assert_eq!(
+            run.stats.pcie_read_requests, 0,
+            "UVM traffic is migrations, not zero-copy reads"
+        );
+    }
+
+    #[test]
+    fn emogi_sssp_matches_reference() {
+        let g = generators::uniform_random(300, 8, 3);
+        let w = generate_weights(g.num_edges(), 3);
+        let mut sys = TraversalSystem::new(TraversalConfig::emogi_v100(), &g, Some(&w));
+        let run = sys.sssp(5);
+        let expect = algo::sssp_distances(&g, &w, 5);
+        for (v, &want) in expect.iter().enumerate() {
+            let got = if run.dist[v] == INF {
+                algo::UNREACHABLE
+            } else {
+                u64::from(run.dist[v])
+            };
+            assert_eq!(got, want, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn emogi_cc_matches_reference() {
+        let g = generators::uniform_random(400, 4, 8);
+        let mut sys = TraversalSystem::new(TraversalConfig::emogi_v100(), &g, None);
+        let run = sys.cc();
+        assert_eq!(run.comp, algo::cc_labels(&g));
+        assert!(run.hook_passes >= 2);
+    }
+
+    #[test]
+    fn second_bfs_reuses_the_machine() {
+        let g = generators::uniform_random(300, 6, 2);
+        let mut sys = TraversalSystem::new(TraversalConfig::emogi_v100(), &g, None);
+        let a = sys.bfs(0);
+        let b = sys.bfs(10);
+        assert_eq!(b.levels, algo::bfs_levels(&g, 10));
+        // Stats are per-run, not cumulative; and this tiny edge list fits
+        // in the cache, so the second traversal rides on warmed lines.
+        assert!(b.stats.elapsed_ns > 0);
+        assert!(a.stats.host_bytes > 0);
+        assert!(
+            b.stats.host_bytes < a.stats.host_bytes,
+            "second run should benefit from the warm cache"
+        );
+    }
+
+    #[test]
+    fn amplification_is_sane_for_merged_aligned() {
+        let g = generators::uniform_random(2_000, 32, 5);
+        let mut sys = TraversalSystem::new(TraversalConfig::emogi_v100(), &g, None);
+        let run = sys.bfs(0);
+        let amp = run.stats.amplification(sys.dataset_bytes());
+        // Every edge is touched once; sector granularity and alignment
+        // overfetch keep amplification a little above 1 (Figure 10 shows
+        // ≤ 1.31 for EMOGI).
+        assert!(amp > 0.8 && amp < 1.9, "amplification {amp}");
+    }
+}

@@ -1,0 +1,303 @@
+//! The memory-access coalescing unit.
+//!
+//! GPUs service a warp's 32 simultaneous lane accesses by merging them into
+//! the minimum number of *transactions*: within each 128-byte cache line,
+//! every contiguous run of touched 32-byte sectors becomes one transaction.
+//! This is precisely the behaviour EMOGI observed on the FPGA monitor
+//! (Figure 3): zero-copy requests only ever appear in 32/64/96/128-byte
+//! sizes, strided lane accesses degenerate into per-lane 32-byte requests,
+//! warp-contiguous aligned accesses merge into full 128-byte requests, and
+//! a 32-byte misalignment splits each line into a 96 + 32 byte pair.
+
+use crate::access::{LaneAccess, Space};
+
+/// Bytes per sector — the smallest external memory request a GPU makes.
+pub const SECTOR_BYTES: u64 = 32;
+/// Bytes per cache line — the largest single coalesced request.
+pub const LINE_BYTES: u64 = 128;
+/// Sectors per line.
+pub const SECTORS_PER_LINE_U64: u64 = LINE_BYTES / SECTOR_BYTES;
+
+/// A coalesced memory transaction: contiguous sectors within one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transaction {
+    pub addr: u64,
+    /// Always a multiple of 32 in `{32, 64, 96, 128}`.
+    pub size: u32,
+    pub space: Space,
+    pub store: bool,
+}
+
+impl Transaction {
+    /// Address of the 128-byte line this transaction lives in.
+    #[inline]
+    pub fn line(&self) -> u64 {
+        self.addr & !(LINE_BYTES - 1)
+    }
+
+    /// Bitmask of the sectors within the line this transaction covers.
+    #[inline]
+    pub fn sector_mask(&self) -> u8 {
+        let first = ((self.addr % LINE_BYTES) / SECTOR_BYTES) as u8;
+        let count = (self.size as u64 / SECTOR_BYTES) as u8;
+        (((1u16 << count) - 1) << first) as u8
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EntryKey {
+    space_rank: u8,
+    store: bool,
+    instr: u8,
+    line: u64,
+}
+
+fn space_rank(s: Space) -> u8 {
+    match s {
+        Space::Device => 0,
+        Space::HostPinned => 1,
+        Space::Managed => 2,
+    }
+}
+
+fn rank_space(r: u8) -> Space {
+    match r {
+        0 => Space::Device,
+        1 => Space::HostPinned,
+        _ => Space::Managed,
+    }
+}
+
+/// The coalescing unit. Holds scratch buffers so per-step coalescing does
+/// not allocate; one per executor.
+#[derive(Debug, Default)]
+pub struct Coalescer {
+    entries: Vec<(EntryKey, u8)>,
+}
+
+impl Coalescer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Coalesce a warp's lane accesses into transactions, appended to
+    /// `out` in deterministic (space, store, address) order.
+    pub fn coalesce(&mut self, accesses: &[LaneAccess], out: &mut Vec<Transaction>) {
+        self.entries.clear();
+        for a in accesses {
+            if a.size == 0 {
+                continue;
+            }
+            let first_sector = a.addr / SECTOR_BYTES;
+            let last_sector = (a.addr + u64::from(a.size) - 1) / SECTOR_BYTES;
+            for s in first_sector..=last_sector {
+                let line = (s * SECTOR_BYTES) & !(LINE_BYTES - 1);
+                let bit = 1u8 << (s % SECTORS_PER_LINE_U64);
+                let key = EntryKey {
+                    space_rank: space_rank(a.space),
+                    store: a.store,
+                    instr: a.instr,
+                    line,
+                };
+                // Fast path: warps usually touch lines in address order,
+                // so the previous entry is a frequent match.
+                if let Some(last) = self.entries.last_mut() {
+                    if last.0 == key {
+                        last.1 |= bit;
+                        continue;
+                    }
+                }
+                self.entries.push((key, bit));
+            }
+        }
+        if self.entries.is_empty() {
+            return;
+        }
+        self.entries.sort_unstable_by_key(|(k, _)| *k);
+        // Merge duplicate lines, then emit contiguous sector runs.
+        let mut i = 0;
+        while i < self.entries.len() {
+            let (key, mut mask) = self.entries[i];
+            let mut j = i + 1;
+            while j < self.entries.len() && self.entries[j].0 == key {
+                mask |= self.entries[j].1;
+                j += 1;
+            }
+            i = j;
+            emit_runs(key, mask, out);
+        }
+    }
+}
+
+fn emit_runs(key: EntryKey, mask: u8, out: &mut Vec<Transaction>) {
+    debug_assert!(mask != 0 && mask < 16, "line sector mask out of range");
+    let mut sector = 0u64;
+    let mut m = mask;
+    while m != 0 {
+        // Skip to the next set bit.
+        let skip = m.trailing_zeros() as u64;
+        sector += skip;
+        m >>= skip;
+        // Measure the run of set bits.
+        let run = m.trailing_ones() as u64;
+        out.push(Transaction {
+            addr: key.line + sector * SECTOR_BYTES,
+            size: (run * SECTOR_BYTES) as u32,
+            space: rank_space(key.space_rank),
+            store: key.store,
+        });
+        sector += run;
+        m = m.checked_shr(run as u32).unwrap_or(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessBatch;
+
+    fn coalesce(batch: &AccessBatch) -> Vec<Transaction> {
+        let mut c = Coalescer::new();
+        let mut out = Vec::new();
+        c.coalesce(batch.items(), &mut out);
+        out
+    }
+
+    /// Figure 3(a): each lane scans a different 128-byte block, producing
+    /// per-lane 32-byte requests.
+    #[test]
+    fn strided_lanes_produce_32_byte_requests() {
+        let mut b = AccessBatch::new();
+        for lane in 0..32u64 {
+            b.load(lane * 128, 8, Space::HostPinned);
+        }
+        let txns = coalesce(&b);
+        assert_eq!(txns.len(), 32);
+        assert!(txns.iter().all(|t| t.size == 32));
+    }
+
+    /// Figure 3(b): 32 lanes reading consecutive 4-byte elements from a
+    /// 128-byte-aligned address merge into a single 128-byte request.
+    #[test]
+    fn aligned_warp_access_merges_to_one_line() {
+        let mut b = AccessBatch::new();
+        for lane in 0..32u64 {
+            b.load(0x8000 + lane * 4, 4, Space::HostPinned);
+        }
+        let txns = coalesce(&b);
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].size, 128);
+        assert_eq!(txns[0].addr, 0x8000);
+    }
+
+    /// Figure 3(c): the same warp access misaligned by 32 bytes produces a
+    /// 96-byte and a 32-byte request.
+    #[test]
+    fn misaligned_warp_access_splits_96_plus_32() {
+        let mut b = AccessBatch::new();
+        for lane in 0..32u64 {
+            b.load(0x8020 + lane * 4, 4, Space::HostPinned);
+        }
+        let mut txns = coalesce(&b);
+        txns.sort_by_key(|t| t.addr);
+        assert_eq!(txns.len(), 2);
+        assert_eq!((txns[0].addr, txns[0].size), (0x8020, 96));
+        assert_eq!((txns[1].addr, txns[1].size), (0x8080, 32));
+    }
+
+    /// EMOGI's 8-byte CSR elements: one warp iteration covers 256 bytes,
+    /// i.e. two full 128-byte requests when aligned.
+    #[test]
+    fn eight_byte_elements_cover_two_lines() {
+        let mut b = AccessBatch::new();
+        for lane in 0..32u64 {
+            b.load(0x1000 + lane * 8, 8, Space::HostPinned);
+        }
+        let txns = coalesce(&b);
+        assert_eq!(txns.len(), 2);
+        assert!(txns.iter().all(|t| t.size == 128));
+    }
+
+    #[test]
+    fn hole_in_sector_mask_splits_runs() {
+        let mut b = AccessBatch::new();
+        b.load(0, 8, Space::HostPinned); // sector 0
+        b.load(64, 8, Space::HostPinned); // sector 2
+        let txns = coalesce(&b);
+        assert_eq!(txns.len(), 2);
+        assert_eq!((txns[0].addr, txns[0].size), (0, 32));
+        assert_eq!((txns[1].addr, txns[1].size), (64, 32));
+    }
+
+    #[test]
+    fn spaces_and_stores_do_not_merge_with_each_other() {
+        let mut b = AccessBatch::new();
+        b.load(0, 8, Space::Device);
+        b.load(8, 8, Space::HostPinned);
+        b.store(16, 8, Space::HostPinned);
+        let txns = coalesce(&b);
+        assert_eq!(txns.len(), 3, "{txns:?}");
+    }
+
+    #[test]
+    fn access_straddling_sector_boundary_touches_both() {
+        let mut b = AccessBatch::new();
+        b.load(28, 8, Space::Device); // bytes 28..36: sectors 0 and 1
+        let txns = coalesce(&b);
+        assert_eq!(txns.len(), 1);
+        assert_eq!((txns[0].addr, txns[0].size), (0, 64));
+    }
+
+    #[test]
+    fn sector_mask_roundtrip() {
+        let t = Transaction {
+            addr: 0x8020,
+            size: 96,
+            space: Space::HostPinned,
+            store: false,
+        };
+        assert_eq!(t.line(), 0x8000);
+        assert_eq!(t.sector_mask(), 0b1110);
+    }
+
+    /// Same-lane loads from different loop iterations (distinct
+    /// instructions) must not merge even when byte-adjacent: coalescing
+    /// is a per-instruction mechanism.
+    #[test]
+    fn different_instructions_never_merge() {
+        let mut b = AccessBatch::new();
+        for k in 0..4u64 {
+            b.load_instr(0x1000 + k * 8, 8, Space::HostPinned, k as u8);
+        }
+        let txns = coalesce(&b);
+        assert_eq!(txns.len(), 4, "{txns:?}");
+        assert!(txns.iter().all(|t| t.size == 32));
+    }
+
+    #[test]
+    fn same_instruction_adjacent_sectors_do_merge() {
+        let mut b = AccessBatch::new();
+        for k in 0..4u64 {
+            b.load_instr(0x1000 + k * 32, 8, Space::HostPinned, 7);
+        }
+        assert_eq!(coalesce(&b).len(), 1);
+    }
+
+    #[test]
+    fn zero_size_access_is_ignored() {
+        let mut b = AccessBatch::new();
+        b.load(0, 0, Space::Device);
+        assert!(coalesce(&b).is_empty());
+    }
+
+    #[test]
+    fn unordered_lanes_coalesce_the_same() {
+        let mut fwd = AccessBatch::new();
+        let mut rev = AccessBatch::new();
+        for lane in 0..32u64 {
+            fwd.load(0x2000 + lane * 4, 4, Space::HostPinned);
+            rev.load(0x2000 + (31 - lane) * 4, 4, Space::HostPinned);
+        }
+        assert_eq!(coalesce(&fwd), coalesce(&rev));
+    }
+}

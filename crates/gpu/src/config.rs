@@ -1,0 +1,129 @@
+//! GPU device presets.
+//!
+//! Microarchitectural parameters (warp counts, cache geometry, latencies)
+//! are taken from the real devices of the paper's Tables 1 and 3, because
+//! the effects EMOGI studies are *ratio* effects between those parameters
+//! and the interconnect. Device-memory **capacity** is the one scaled
+//! quantity: the datasets are generated ~1000× smaller than the paper's
+//! (Table 2 stand-ins in `emogi-graph`), so capacities scale GB → MiB to
+//! preserve the out-of-memory ratio that drives UVM thrashing.
+
+use emogi_sim::dram::DramConfig;
+use emogi_sim::time::Time;
+
+use crate::cache::CacheConfig;
+
+/// Full parameter set for one simulated GPU.
+#[derive(Debug, Clone)]
+pub struct GpuConfig {
+    pub name: &'static str,
+    /// Maximum warps resident across all SMs (V100: 80 SMs × 64 warps).
+    pub resident_warps: u32,
+    /// Per-warp limit on in-flight memory transactions (LSU/MSHR bound).
+    /// Interacts with cache capacity to produce the Naive kernel's
+    /// eviction-before-reuse behaviour.
+    pub max_pending_per_warp: u32,
+    /// Unified cache in front of both HBM and the PCIe path (the paper's
+    /// "L1/L2" layer in Figure 3).
+    pub cache: CacheConfig,
+    /// Device memory timing model.
+    pub hbm: DramConfig,
+    /// Device memory capacity — **scaled** (16 GB → 16 MiB etc.).
+    pub mem_bytes: u64,
+    /// Fixed issue/ALU cost of one warp step, ns.
+    pub step_compute_ns: Time,
+}
+
+/// Named presets used across the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuPreset {
+    /// Tesla V100 SXM2 16 GB — the primary platform (Table 1).
+    V100,
+    /// A100 40 GB in the DGX A100 — the PCIe 4.0 platform (§5.5).
+    A100,
+    /// Titan Xp 12 GB — the platform of the HALO comparison (Table 3).
+    TitanXp,
+}
+
+impl GpuPreset {
+    pub fn config(self) -> GpuConfig {
+        match self {
+            GpuPreset::V100 => GpuConfig {
+                name: "Tesla V100 (16 GB scaled to 16 MiB)",
+                resident_warps: 5_120,
+                max_pending_per_warp: 8,
+                cache: CacheConfig {
+                    capacity_bytes: 6 << 20,
+                    ways: 16,
+                    hit_latency_ns: 140,
+                },
+                hbm: DramConfig::hbm2_v100(),
+                mem_bytes: 16 << 20,
+                step_compute_ns: 4,
+            },
+            GpuPreset::A100 => GpuConfig {
+                name: "A100 (40 GB scaled to 40 MiB)",
+                resident_warps: 6_912,
+                max_pending_per_warp: 8,
+                cache: CacheConfig {
+                    capacity_bytes: 40 << 20,
+                    ways: 16,
+                    hit_latency_ns: 140,
+                },
+                hbm: DramConfig::hbm2e_a100(),
+                mem_bytes: 40 << 20,
+                step_compute_ns: 4,
+            },
+            GpuPreset::TitanXp => GpuConfig {
+                name: "Titan Xp (12 GB scaled to 12 MiB)",
+                resident_warps: 1_920,
+                max_pending_per_warp: 8,
+                cache: CacheConfig {
+                    capacity_bytes: 3 << 20,
+                    ways: 16,
+                    hit_latency_ns: 180,
+                },
+                hbm: DramConfig::gddr5x_titan_xp(),
+                mem_bytes: 12 << 20,
+                step_compute_ns: 5,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for preset in [GpuPreset::V100, GpuPreset::A100, GpuPreset::TitanXp] {
+            let cfg = preset.config();
+            assert!(cfg.resident_warps > 0);
+            assert!(cfg.max_pending_per_warp > 0);
+            assert!(cfg.cache.capacity_bytes < cfg.mem_bytes << 10);
+            assert!(cfg.cache.num_sets() > 0);
+            assert!(cfg.hbm.bandwidth_gbps > 100.0);
+        }
+    }
+
+    #[test]
+    fn capacity_ordering_matches_the_paper() {
+        let v100 = GpuPreset::V100.config();
+        let a100 = GpuPreset::A100.config();
+        let xp = GpuPreset::TitanXp.config();
+        assert!(xp.mem_bytes < v100.mem_bytes);
+        assert!(v100.mem_bytes < a100.mem_bytes);
+        // 16 GB -> 16 MiB scaling.
+        assert_eq!(v100.mem_bytes, 16 << 20);
+    }
+
+    #[test]
+    fn a100_is_strictly_bigger_than_v100() {
+        let v100 = GpuPreset::V100.config();
+        let a100 = GpuPreset::A100.config();
+        assert!(a100.resident_warps > v100.resident_warps);
+        assert!(a100.cache.capacity_bytes > v100.cache.capacity_bytes);
+        assert!(a100.hbm.bandwidth_gbps > v100.hbm.bandwidth_gbps);
+    }
+}

@@ -1,0 +1,28 @@
+//! # emogi-gpu — SIMT GPU model
+//!
+//! The GPU-side half of the EMOGI reproduction. It models the pieces of the
+//! GPU memory path that the paper's optimizations manipulate:
+//!
+//! * **warps** — 32 lanes executing in lock-step ([`access`]);
+//! * **the coalescing unit** — merges a warp's simultaneous lane accesses
+//!   into the 32/64/96/128-byte transactions observed on PCIe in Figure 3
+//!   ([`coalesce`]);
+//! * **the cache** — a sectored, set-associative cache (128-byte lines of
+//!   four 32-byte sectors) whose thrashing behaviour explains the Naive
+//!   kernel's read amplification ([`cache`]);
+//! * **device presets** — V100, A100 and Titan Xp parameter sets with
+//!   device-memory capacity scaled 1000× down alongside the datasets
+//!   ([`config`]).
+//!
+//! The execution loop that drives warps against these models lives in
+//! `emogi-runtime`.
+
+pub mod access;
+pub mod cache;
+pub mod coalesce;
+pub mod config;
+
+pub use access::{AccessBatch, LaneAccess, Space, WARP_SIZE};
+pub use cache::{CacheConfig, CacheStats, SectoredCache, SECTORS_PER_LINE};
+pub use coalesce::{Coalescer, Transaction, LINE_BYTES, SECTOR_BYTES};
+pub use config::{GpuConfig, GpuPreset};

@@ -1,0 +1,148 @@
+//! Degree-distribution analysis.
+//!
+//! Reproduces the paper's Figure 6: the cumulative fraction of *edges*
+//! (not vertices) associated with vertices of degree ≤ d. The paper reads
+//! request-size behaviour straight off this CDF — e.g. GU's edges all
+//! sitting between degree 16 and 48 explains why alignment barely helps
+//! it, while ML's mass above degree 96 explains its 128-byte-dominated
+//! request mix.
+
+use crate::csr::CsrGraph;
+
+/// Edge-count CDF over vertex degree.
+#[derive(Debug, Clone)]
+pub struct DegreeCdf {
+    /// `counts[d]` = number of edge endpoints on vertices of degree `d`
+    /// (clamped to `max_tracked`).
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl DegreeCdf {
+    /// Build the CDF, tracking degrees up to `max_tracked` (larger degrees
+    /// accumulate in the last bucket, like the paper cutting the x-axis
+    /// at 96).
+    pub fn new(g: &CsrGraph, max_tracked: usize) -> Self {
+        let mut counts = vec![0u64; max_tracked + 1];
+        for v in 0..g.num_vertices() {
+            let d = g.degree(v as u32);
+            let bucket = (d as usize).min(max_tracked);
+            counts[bucket] += d;
+        }
+        Self {
+            counts,
+            total: g.num_edges() as u64,
+        }
+    }
+
+    /// Fraction of edges on vertices with degree ≤ `d`.
+    pub fn cdf_at(&self, d: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self.counts[..=d.min(self.counts.len() - 1)].iter().sum();
+        upto as f64 / self.total as f64
+    }
+
+    /// Sample the CDF at each degree in `points` (for table output).
+    pub fn sample(&self, points: &[usize]) -> Vec<(usize, f64)> {
+        points.iter().map(|&d| (d, self.cdf_at(d))).collect()
+    }
+
+    /// Smallest degree d with CDF(d) >= 0.5 (median edge's vertex degree).
+    pub fn median_degree(&self) -> usize {
+        (0..self.counts.len())
+            .find(|&d| self.cdf_at(d) >= 0.5)
+            .unwrap_or(self.counts.len() - 1)
+    }
+}
+
+/// Quick summary statistics used in Table 2 output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeSummary {
+    pub average: f64,
+    pub max: u64,
+    pub isolated_vertices: usize,
+}
+
+impl DegreeSummary {
+    pub fn new(g: &CsrGraph) -> Self {
+        let isolated = (0..g.num_vertices())
+            .filter(|&v| g.degree(v as u32) == 0)
+            .count();
+        Self {
+            average: g.average_degree(),
+            max: g.max_degree(),
+            isolated_vertices: isolated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeListBuilder;
+    use crate::generators;
+
+    fn star_plus_path() -> CsrGraph {
+        // Vertex 0 is a hub of degree 4; vertices 5-6 form one edge.
+        let mut b = EdgeListBuilder::new(7).symmetrize(true);
+        for d in 1..5 {
+            b.push(0, d);
+        }
+        b.push(5, 6);
+        b.build()
+    }
+
+    #[test]
+    fn cdf_splits_hub_and_leaf_edges() {
+        let g = star_plus_path();
+        let cdf = DegreeCdf::new(&g, 16);
+        // 10 edge endpoints: 4 on the hub (degree 4), 4 on its leaves
+        // (degree 1), 2 on the 5-6 pair (degree 1).
+        assert!((cdf.cdf_at(1) - 0.6).abs() < 1e-12);
+        assert!((cdf.cdf_at(3) - 0.6).abs() < 1e-12);
+        assert!((cdf.cdf_at(4) - 1.0).abs() < 1e-12);
+        assert_eq!(cdf.median_degree(), 1);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let g = generators::kronecker(10, 8, 5);
+        let cdf = DegreeCdf::new(&g, 96);
+        let mut prev = 0.0;
+        for d in 0..=96 {
+            let c = cdf.cdf_at(d);
+            assert!(c >= prev - 1e-12, "CDF must be monotone");
+            prev = c;
+        }
+        assert!((cdf.cdf_at(96) - 1.0).abs() < 1e-12, "last bucket absorbs the tail");
+    }
+
+    #[test]
+    fn gu_band_property_shows_in_cdf() {
+        let g = generators::uniform_random(2_000, 32, 9);
+        let cdf = DegreeCdf::new(&g, 96);
+        assert!(cdf.cdf_at(15) < 0.02, "nothing below degree 16");
+        assert!(cdf.cdf_at(48) > 0.98, "everything by degree 48");
+    }
+
+    #[test]
+    fn summary_counts_isolated() {
+        let g = star_plus_path();
+        let s = DegreeSummary::new(&g);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.isolated_vertices, 0);
+        let empty = CsrGraph::empty(3);
+        assert_eq!(DegreeSummary::new(&empty).isolated_vertices, 3);
+    }
+
+    #[test]
+    fn sample_returns_requested_points() {
+        let g = star_plus_path();
+        let cdf = DegreeCdf::new(&g, 16);
+        let pts = cdf.sample(&[0, 1, 4]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[2], (4, 1.0));
+    }
+}

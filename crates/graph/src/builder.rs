@@ -1,0 +1,241 @@
+//! Edge-list → CSR construction.
+//!
+//! Two-pass counting sort: O(V + E), no comparison sort of the full edge
+//! list. Neighbour lists come out grouped by source; per-list ordering is
+//! optionally sorted/deduplicated (the SuiteSparse / LAW graphs the paper
+//! uses ship with sorted, duplicate-free adjacencies).
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// Accumulates directed edges and builds a [`CsrGraph`].
+#[derive(Debug, Clone)]
+pub struct EdgeListBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    symmetrize: bool,
+    dedup: bool,
+    drop_self_loops: bool,
+}
+
+impl EdgeListBuilder {
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+            symmetrize: false,
+            dedup: true,
+            drop_self_loops: true,
+        }
+    }
+
+    /// Pre-size the edge buffer.
+    pub fn with_capacity(num_vertices: usize, edges: usize) -> Self {
+        let mut b = Self::new(num_vertices);
+        b.edges.reserve(edges);
+        b
+    }
+
+    /// Also insert the reverse of every edge (undirected graphs; Table 2's
+    /// GK/GU/FS/ML are undirected, SK/UK5 are directed).
+    pub fn symmetrize(mut self, yes: bool) -> Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// Remove duplicate (src, dst) pairs (default true).
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Remove self loops (default true).
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        debug_assert!((src as usize) < self.num_vertices);
+        debug_assert!((dst as usize) < self.num_vertices);
+        self.edges.push((src, dst));
+    }
+
+    pub fn extend(&mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) {
+        self.edges.extend(it);
+    }
+
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Consume the builder and produce the CSR graph.
+    pub fn build(mut self) -> CsrGraph {
+        if self.drop_self_loops {
+            self.edges.retain(|&(s, d)| s != d);
+        }
+        if self.symmetrize {
+            let fwd = self.edges.len();
+            self.edges.reserve(fwd);
+            for i in 0..fwd {
+                let (s, d) = self.edges[i];
+                self.edges.push((d, s));
+            }
+        }
+        let n = self.num_vertices;
+        // Counting sort by source.
+        let mut offsets = vec![0u64; n + 1];
+        for &(s, _) in &self.edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut dsts = vec![0 as VertexId; self.edges.len()];
+        for &(s, d) in &self.edges {
+            let c = &mut cursor[s as usize];
+            dsts[*c as usize] = d;
+            *c += 1;
+        }
+        drop(self.edges);
+        // Per-list sort (+ dedup): lists are short on average, so this is
+        // cheap relative to the counting passes.
+        if self.dedup {
+            // Sort each list, then compact unique values in place; the
+            // write cursor never overtakes the read cursor.
+            let mut new_offsets = vec![0u64; n + 1];
+            let mut write = 0usize;
+            let mut list_start = 0usize;
+            for v in 0..n {
+                let end = offsets[v + 1] as usize;
+                dsts[list_start..end].sort_unstable();
+                let mut prev: Option<VertexId> = None;
+                for i in list_start..end {
+                    let d = dsts[i];
+                    if prev != Some(d) {
+                        dsts[write] = d;
+                        write += 1;
+                        prev = Some(d);
+                    }
+                }
+                new_offsets[v + 1] = write as u64;
+                list_start = end;
+            }
+            dsts.truncate(write);
+            CsrGraph::from_parts(new_offsets, dsts, self.symmetrize)
+        } else {
+            let mut list_start = 0usize;
+            for v in 0..n {
+                let end = offsets[v + 1] as usize;
+                dsts[list_start..end].sort_unstable();
+                list_start = end;
+            }
+            CsrGraph::from_parts(offsets, dsts, self.symmetrize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_figure1_from_undirected_half() {
+        // The 7 undirected edges of the paper's Figure 1 graph.
+        let mut b = EdgeListBuilder::new(5).symmetrize(true);
+        for (s, d) in [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (3, 4)] {
+            b.push(s, d);
+        }
+        let g = b.build();
+        // Note: the paper's printed vertex list reads [0,2,6,9,12,14], but
+        // that is inconsistent with its own 14-entry edge list (vertex 3
+        // has neighbours {1,4}); the self-consistent offsets are below.
+        assert_eq!(g.offsets(), &[0, 2, 6, 9, 11, 14]);
+        assert_eq!(
+            g.edge_list(),
+            &[1, 2, 0, 2, 3, 4, 0, 1, 4, 1, 4, 1, 2, 3]
+        );
+        assert!(g.is_undirected());
+    }
+
+    #[test]
+    fn dedup_removes_parallel_edges() {
+        let mut b = EdgeListBuilder::new(3);
+        b.push(0, 1);
+        b.push(0, 1);
+        b.push(0, 2);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn dedup_disabled_keeps_parallel_edges() {
+        let mut b = EdgeListBuilder::new(3);
+        b.push(0, 1);
+        b.push(0, 1);
+        let g = b.dedup(false).build();
+        assert_eq!(g.neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let mut b = EdgeListBuilder::new(2);
+        b.push(0, 0);
+        b.push(0, 1);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn self_loops_kept_on_request() {
+        let mut b = EdgeListBuilder::new(2);
+        b.push(0, 0);
+        let g = b.drop_self_loops(false).build();
+        assert_eq!(g.neighbors(0), &[0]);
+    }
+
+    #[test]
+    fn directed_build_is_asymmetric() {
+        let mut b = EdgeListBuilder::new(3);
+        b.push(0, 1);
+        b.push(0, 2);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[VertexId]);
+        assert!(!g.is_undirected());
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let mut b = EdgeListBuilder::new(4);
+        for d in [3, 1, 2] {
+            b.push(0, d);
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = EdgeListBuilder::new(4).build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn symmetrize_then_dedup_handles_mutual_edges() {
+        // (0,1) and (1,0) both present plus symmetrization: still one
+        // edge each way after dedup.
+        let mut b = EdgeListBuilder::new(2).symmetrize(true);
+        b.push(0, 1);
+        b.push(1, 0);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+}

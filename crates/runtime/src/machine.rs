@@ -1,0 +1,291 @@
+//! The simulated machine: one GPU, one PCIe link, host memory, optional
+//! UVM — i.e. one row of the paper's Table 1, in miniature.
+
+use crate::alloc::{AddressSpaces, MANAGED_BASE};
+use crate::report::RunStats;
+use emogi_gpu::cache::SectoredCache;
+use emogi_gpu::config::{GpuConfig, GpuPreset};
+use emogi_sim::dma::DmaEngine;
+use emogi_sim::dram::{Dram, DramConfig};
+use emogi_sim::monitor::{SizeHistogram, TrafficMonitor};
+use emogi_sim::pcie::{PcieConfig, PcieGen, PcieLink};
+use emogi_sim::time::Time;
+use emogi_uvm::{UvmConfig, UvmDriver};
+
+/// Everything needed to assemble a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    pub gpu: GpuConfig,
+    pub pcie: PcieConfig,
+    pub host_dram: DramConfig,
+    /// Template for the UVM driver (pool size is filled in from leftover
+    /// device memory when the first managed allocation is made).
+    pub uvm: UvmConfig,
+    /// Resolution of the bandwidth time series.
+    pub monitor_window_ns: Time,
+}
+
+impl MachineConfig {
+    /// Table 1: V100 + PCIe 3.0 + Cascade-Lake quad-channel DDR4.
+    pub fn v100_gen3() -> Self {
+        Self {
+            gpu: GpuPreset::V100.config(),
+            pcie: PcieGen::Gen3x16.config(),
+            host_dram: DramConfig::ddr4_2933_quad(),
+            uvm: UvmConfig::default(),
+            monitor_window_ns: 50_000,
+        }
+    }
+
+    /// §5.5: DGX A100 with the root port in PCIe 3.0 mode.
+    pub fn a100_gen3() -> Self {
+        Self {
+            gpu: GpuPreset::A100.config(),
+            pcie: PcieGen::Gen3x16.config(),
+            host_dram: DramConfig::ddr4_3200_octa(),
+            uvm: UvmConfig::default(),
+            monitor_window_ns: 50_000,
+        }
+    }
+
+    /// §5.5: DGX A100 with PCIe 4.0.
+    pub fn a100_gen4() -> Self {
+        Self {
+            pcie: PcieGen::Gen4x16.config(),
+            ..Self::a100_gen3()
+        }
+    }
+
+    /// Table 3: Titan Xp platform used for the HALO comparison.
+    pub fn titan_xp_gen3() -> Self {
+        Self {
+            gpu: GpuPreset::TitanXp.config(),
+            pcie: PcieGen::Gen3x16.config(),
+            host_dram: DramConfig::ddr4_2933_quad(),
+            uvm: UvmConfig::default(),
+            monitor_window_ns: 50_000,
+        }
+    }
+}
+
+/// The assembled machine. The executor (`crate::exec`) mutates it in
+/// place; experiments read the monitors afterwards.
+#[derive(Debug)]
+pub struct Machine {
+    pub cfg: MachineConfig,
+    pub link: PcieLink,
+    pub host_dram: Dram,
+    pub hbm: Dram,
+    pub cache: SectoredCache,
+    pub monitor: TrafficMonitor,
+    pub dma: DmaEngine,
+    pub spaces: AddressSpaces,
+    pub uvm: Option<UvmDriver>,
+    /// Simulated wall clock, advanced by kernels and copies.
+    pub now: Time,
+    /// Kernel launch fixed cost (driver + launch latency).
+    pub kernel_launch_ns: Time,
+}
+
+/// Scalar counter snapshot used to diff per-run statistics.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    at: Time,
+    reads: u64,
+    sizes: SizeHistogram,
+    zero_copy: u64,
+    dma: u64,
+    dram_read: u64,
+    faults: u64,
+    migrated: u64,
+}
+
+impl Machine {
+    pub fn new(cfg: MachineConfig) -> Self {
+        Self {
+            link: PcieLink::new(cfg.pcie.clone()),
+            host_dram: Dram::new(cfg.host_dram.clone()),
+            hbm: Dram::new(cfg.gpu.hbm.clone()),
+            cache: SectoredCache::new(&cfg.gpu.cache),
+            monitor: TrafficMonitor::new(cfg.monitor_window_ns),
+            dma: DmaEngine::new(),
+            spaces: AddressSpaces::new(cfg.gpu.mem_bytes),
+            uvm: None,
+            now: 0,
+            kernel_launch_ns: 100, // scaled with the datasets (see DESIGN.md)
+            cfg,
+        }
+    }
+
+    /// `cudaMalloc`: device memory for vertex lists and status arrays.
+    pub fn alloc_device(&mut self, bytes: u64) -> u64 {
+        assert!(
+            self.uvm.is_none(),
+            "allocate all device memory before the first kernel runs \
+             (the UVM pool is sized from leftover device memory)"
+        );
+        self.spaces.alloc_device(bytes)
+    }
+
+    /// `cudaMallocHost`: pinned, zero-copy-accessible host memory.
+    pub fn alloc_host_pinned(&mut self, bytes: u64) -> u64 {
+        self.spaces.alloc_host_pinned(bytes)
+    }
+
+    /// `cudaMallocManaged`: UVM-managed memory.
+    pub fn alloc_managed(&mut self, bytes: u64) -> u64 {
+        self.spaces.alloc_managed(bytes)
+    }
+
+    /// Create the UVM driver covering every managed allocation so far,
+    /// with a page pool equal to the unallocated device memory. Called
+    /// automatically by the executor before the first kernel that touches
+    /// managed space.
+    pub fn ensure_uvm(&mut self) {
+        if self.uvm.is_some() {
+            return;
+        }
+        let managed_len = self.managed_used().max(4096);
+        let mut uvm_cfg = self.cfg.uvm.clone();
+        uvm_cfg.pool_bytes = self.spaces.device_free().max(uvm_cfg.page_bytes);
+        self.uvm = Some(UvmDriver::new(uvm_cfg, MANAGED_BASE, managed_len));
+    }
+
+    fn managed_used(&self) -> u64 {
+        self.spaces.managed_used()
+    }
+
+    /// Synchronous `cudaMemcpy` host→device; advances the clock.
+    pub fn memcpy_to_device(&mut self, bytes: u64) {
+        self.now = self.dma.copy_to_device(
+            self.now,
+            bytes,
+            &mut self.link,
+            &mut self.host_dram,
+            &mut self.hbm,
+            &mut self.monitor,
+        );
+    }
+
+    /// Synchronous `cudaMemcpy` device→host; advances the clock.
+    pub fn memcpy_to_host(&mut self, bytes: u64) {
+        self.now = self.dma.copy_to_host(
+            self.now,
+            bytes,
+            &mut self.link,
+            &mut self.host_dram,
+            &mut self.hbm,
+            &mut self.monitor,
+        );
+    }
+
+    /// Begin a measured run (BFS/SSSP/CC execution).
+    pub fn snapshot(&self) -> Snapshot {
+        let (faults, migrated) = self
+            .uvm
+            .as_ref()
+            .map(|u| (u.stats.faults, u.stats.pages_migrated))
+            .unwrap_or((0, 0));
+        Snapshot {
+            at: self.now,
+            reads: self.monitor.read_requests,
+            sizes: self.monitor.sizes.clone(),
+            zero_copy: self.monitor.zero_copy_bytes,
+            dma: self.monitor.dma_bytes,
+            dram_read: self.host_dram.bytes_read,
+            faults,
+            migrated,
+        }
+    }
+
+    /// Close a measured run, diffing counters against `base`.
+    pub fn finish_run(&self, base: &Snapshot, kernel_launches: u64) -> RunStats {
+        let elapsed = self.now - base.at;
+        let mut sizes = self.monitor.sizes.clone();
+        for (b, old) in sizes.buckets.iter_mut().zip(base.sizes.buckets) {
+            *b -= old;
+        }
+        sizes.other -= base.sizes.other;
+        let (faults, migrated) = self
+            .uvm
+            .as_ref()
+            .map(|u| (u.stats.faults, u.stats.pages_migrated))
+            .unwrap_or((0, 0));
+        let host_bytes = (self.monitor.zero_copy_bytes - base.zero_copy)
+            + (self.monitor.dma_bytes - base.dma);
+        RunStats {
+            elapsed_ns: elapsed,
+            kernel_launches,
+            pcie_read_requests: self.monitor.read_requests - base.reads,
+            request_sizes: sizes,
+            host_bytes,
+            avg_pcie_gbps: if elapsed == 0 {
+                0.0
+            } else {
+                host_bytes as f64 / elapsed as f64
+            },
+            page_faults: faults - base.faults,
+            pages_migrated: migrated - base.migrated,
+            host_dram_bytes: self.host_dram.bytes_read - base.dram_read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build() {
+        for m in [
+            MachineConfig::v100_gen3(),
+            MachineConfig::a100_gen3(),
+            MachineConfig::a100_gen4(),
+            MachineConfig::titan_xp_gen3(),
+        ] {
+            let machine = Machine::new(m);
+            assert_eq!(machine.now, 0);
+        }
+    }
+
+    #[test]
+    fn memcpy_advances_clock_and_counts() {
+        let mut m = Machine::new(MachineConfig::v100_gen3());
+        m.memcpy_to_device(1 << 20);
+        assert!(m.now > 0);
+        assert_eq!(m.monitor.dma_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn uvm_pool_is_leftover_device_memory() {
+        let mut m = Machine::new(MachineConfig::v100_gen3());
+        let cap = m.spaces.device_capacity();
+        m.alloc_device(1 << 20);
+        m.alloc_managed(8 << 20);
+        m.ensure_uvm();
+        let pool = m.uvm.as_ref().unwrap().config().pool_bytes;
+        assert_eq!(pool, cap - (1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first kernel")]
+    fn device_alloc_after_uvm_panics() {
+        let mut m = Machine::new(MachineConfig::v100_gen3());
+        m.alloc_managed(4096);
+        m.ensure_uvm();
+        m.alloc_device(128);
+    }
+
+    #[test]
+    fn run_stats_diffing() {
+        let mut m = Machine::new(MachineConfig::v100_gen3());
+        m.memcpy_to_device(1 << 20);
+        let snap = m.snapshot();
+        m.memcpy_to_device(2 << 20);
+        let stats = m.finish_run(&snap, 3);
+        assert_eq!(stats.host_bytes, 2 << 20);
+        assert_eq!(stats.kernel_launches, 3);
+        assert!(stats.elapsed_ns > 0);
+        assert!(stats.avg_pcie_gbps > 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Per-kernel and per-run statistics.
+
+use emogi_sim::monitor::SizeHistogram;
+use emogi_sim::time::Time;
+
+/// What one kernel launch did, measured by the executor.
+#[derive(Debug, Clone, Default)]
+pub struct KernelReport {
+    /// Launch time.
+    pub start: Time,
+    /// Completion time (all warps drained).
+    pub end: Time,
+    /// Warp tasks executed.
+    pub tasks: u64,
+    /// Warp steps executed.
+    pub steps: u64,
+    /// Coalesced transactions by space.
+    pub device_txns: u64,
+    pub host_txns: u64,
+    pub managed_txns: u64,
+    /// Host transactions that were satisfied by attaching to an already
+    /// in-flight request (MSHR merges).
+    pub mshr_merges: u64,
+    /// Page faults raised against the UVM driver.
+    pub page_faults: u64,
+}
+
+impl KernelReport {
+    pub fn elapsed(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+/// Cumulative measurements for a whole traversal run (all kernel launches
+/// of one BFS/SSSP/CC execution), diffed off the machine's monitors.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Total simulated wall time.
+    pub elapsed_ns: Time,
+    /// Kernel launches ("the total number of kernels launched ... is equal
+    /// to the distance from the source vertex", §4.2).
+    pub kernel_launches: u64,
+    /// Zero-copy PCIe read requests and their size mix (Figures 5 & 7).
+    pub pcie_read_requests: u64,
+    pub request_sizes: SizeHistogram,
+    /// Host→GPU payload bytes: zero-copy reads plus DMA/migrations
+    /// (Figure 10's numerator).
+    pub host_bytes: u64,
+    /// Average achieved PCIe bandwidth over the run, GB/s (Figure 8).
+    pub avg_pcie_gbps: f64,
+    /// UVM page faults and migrations (zero for EMOGI engines).
+    pub page_faults: u64,
+    pub pages_migrated: u64,
+    /// Host DRAM traffic (Figure 4's DRAM lane).
+    pub host_dram_bytes: u64,
+}
+
+impl RunStats {
+    /// The paper's I/O read amplification metric (Figure 10).
+    pub fn amplification(&self, dataset_bytes: u64) -> f64 {
+        if dataset_bytes == 0 {
+            0.0
+        } else {
+            self.host_bytes as f64 / dataset_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_and_amplification() {
+        let r = KernelReport {
+            start: 100,
+            end: 350,
+            ..Default::default()
+        };
+        assert_eq!(r.elapsed(), 250);
+        let s = RunStats {
+            host_bytes: 150,
+            ..Default::default()
+        };
+        assert!((s.amplification(100) - 1.5).abs() < 1e-12);
+        assert_eq!(s.amplification(0), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! A deterministic discrete-event queue.
+//!
+//! The executor in `emogi-runtime` drives the whole machine from one of
+//! these. Ties are broken by insertion order so simulations are
+//! bit-reproducible regardless of the event payload type.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    at: Time,
+    seq: u64,
+}
+
+/// Min-heap of timestamped events with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Key, usize)>>,
+    slots: Vec<Option<E>>,
+    free: Vec<usize>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn push(&mut self, at: Time, event: E) {
+        let key = Key { at, seq: self.seq };
+        self.seq += 1;
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(event);
+                i
+            }
+            None => {
+                self.slots.push(Some(event));
+                self.slots.len() - 1
+            }
+        };
+        self.heap.push(Reverse((key, slot)));
+    }
+
+    /// Remove and return the earliest event (FIFO among equal timestamps).
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse((key, slot)) = self.heap.pop()?;
+        let ev = self.slots[slot].take().expect("event slot occupied");
+        self.free.push(slot);
+        Some((key.at, ev))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((k, _))| k.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(5, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10u64 {
+            for i in 0..8u64 {
+                q.push(round * 10 + i, i);
+            }
+            for _ in 0..8 {
+                q.pop().unwrap();
+            }
+        }
+        // 8 live slots at most, reused across rounds.
+        assert!(q.slots.len() <= 8, "slots grew to {}", q.slots.len());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(42, ());
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.pop(), Some((42, ())));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(10, 1);
+        q.push(5, 0);
+        assert_eq!(q.pop(), Some((5, 0)));
+        q.push(7, 2);
+        assert_eq!(q.pop(), Some((7, 2)));
+        assert_eq!(q.pop(), Some((10, 1)));
+    }
+}

@@ -1,0 +1,58 @@
+//! Weighted shortest paths over a web-crawl graph, comparing EMOGI
+//! against UVM on both PCIe generations — the §5.5 scaling story on a
+//! single workload.
+//!
+//! ```text
+//! cargo run --release --example shortest_paths
+//! ```
+
+use emogi_repro::core::{sssp::INF, TraversalConfig, TraversalSystem};
+use emogi_repro::graph::{algo, DatasetKey};
+use emogi_repro::runtime::MachineConfig;
+
+fn main() {
+    let d = DatasetKey::Uk5.spec().generate();
+    println!(
+        "{} — {} pages, {} links, 4-byte weights in [8, 72]\n",
+        d.spec.name,
+        d.graph.num_vertices(),
+        d.graph.num_edges()
+    );
+
+    let src = d.sources(1)[0];
+    let reference = algo::sssp_distances(&d.graph, &d.weights, src);
+
+    let mut base_uvm = 0.0;
+    for (name, machine, uvm) in [
+        ("UVM   + PCIe 3.0", MachineConfig::a100_gen3(), true),
+        ("EMOGI + PCIe 3.0", MachineConfig::a100_gen3(), false),
+        ("UVM   + PCIe 4.0", MachineConfig::a100_gen4(), true),
+        ("EMOGI + PCIe 4.0", MachineConfig::a100_gen4(), false),
+    ] {
+        let cfg = if uvm {
+            TraversalConfig::uvm_v100().with_machine(machine)
+        } else {
+            TraversalConfig::emogi_v100().with_machine(machine)
+        };
+        let mut sys = TraversalSystem::new(cfg, &d.graph, Some(&d.weights));
+        let run = sys.sssp(src);
+        for (v, &want) in reference.iter().enumerate() {
+            let got = if run.dist[v] == INF {
+                algo::UNREACHABLE
+            } else {
+                u64::from(run.dist[v])
+            };
+            assert_eq!(got, want, "distance mismatch at vertex {v}");
+        }
+        let ms = run.stats.elapsed_ns as f64 / 1e6;
+        if base_uvm == 0.0 {
+            base_uvm = ms;
+        }
+        println!(
+            "{name}: {ms:>8.2} ms  ({:>4.2}x vs UVM+3.0)  {} relaxation rounds",
+            base_uvm / ms,
+            run.stats.kernel_launches
+        );
+    }
+    println!("\npaper: UVM scales only ~1.53x from PCIe 3.0 to 4.0 (fault-handler bound); EMOGI ~1.9x");
+}

@@ -1,0 +1,21 @@
+//! # emogi-repro — facade crate
+//!
+//! Re-exports the full EMOGI reproduction stack so examples and downstream
+//! users can depend on a single crate. See the individual crates for the
+//! substance:
+//!
+//! * [`sim`] — PCIe link, DRAM, traffic monitor (the FPGA stand-in)
+//! * [`gpu`] — SIMT warps, coalescing unit, sectored cache
+//! * [`uvm`] — Unified Virtual Memory driver model
+//! * [`runtime`] — kernel executor wiring the above together
+//! * [`graph`] — CSR graphs and the Table 2 dataset generators
+//! * [`core`] — EMOGI itself: zero-copy BFS / SSSP / CC
+//! * [`baselines`] — UVM, HALO-style and Subway-style comparison systems
+
+pub use emogi_baselines as baselines;
+pub use emogi_core as core;
+pub use emogi_gpu as gpu;
+pub use emogi_graph as graph;
+pub use emogi_runtime as runtime;
+pub use emogi_sim as sim;
+pub use emogi_uvm as uvm;

@@ -1,0 +1,131 @@
+//! Cross-engine correctness: every simulated engine (EMOGI's three access
+//! strategies, the UVM baseline, HALO, Subway) must produce results
+//! identical to the CPU reference algorithms on randomized graphs.
+
+use emogi_repro::baselines::{HaloSystem, SubwayMode, SubwaySystem};
+use emogi_repro::core::{
+    sssp::INF, AccessStrategy, EdgePlacement, TraversalConfig, TraversalSystem,
+};
+use emogi_repro::graph::{algo, datasets::generate_weights, generators, CsrGraph};
+use emogi_repro::runtime::MachineConfig;
+
+fn engines() -> Vec<(&'static str, TraversalConfig)> {
+    vec![
+        ("emogi-naive", TraversalConfig::emogi_v100().with_strategy(AccessStrategy::Naive)),
+        ("emogi-merged", TraversalConfig::emogi_v100().with_strategy(AccessStrategy::Merged)),
+        ("emogi-aligned", TraversalConfig::emogi_v100()),
+        ("uvm-merged", TraversalConfig::uvm_v100()),
+        ("uvm-naive", TraversalConfig::uvm_v100().with_strategy(AccessStrategy::Naive)),
+    ]
+}
+
+fn graph_zoo(seed: u64) -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("uniform", generators::uniform_random(600, 8, seed)),
+        ("kron", generators::kronecker(9, 6, seed)),
+        ("web", generators::web_crawl(700, 10, 60, 0.8, seed)),
+        ("dense", generators::lognormal_dense(150, 60.0, 0.5, 16, seed)),
+    ]
+}
+
+#[test]
+fn bfs_matches_reference_for_every_engine_and_graph_family() {
+    for (gname, g) in graph_zoo(11) {
+        let src = (0..g.num_vertices() as u32)
+            .find(|&v| g.degree(v) > 0)
+            .unwrap();
+        let want = algo::bfs_levels(&g, src);
+        for (ename, cfg) in engines() {
+            let mut sys = TraversalSystem::new(cfg, &g, None);
+            let run = sys.bfs(src);
+            assert_eq!(run.levels, want, "{ename} on {gname}");
+        }
+    }
+}
+
+#[test]
+fn sssp_matches_dijkstra_for_every_engine() {
+    let g = generators::uniform_random(500, 6, 23);
+    let w = generate_weights(g.num_edges(), 23);
+    let want = algo::sssp_distances(&g, &w, 4);
+    for (ename, cfg) in engines() {
+        let mut sys = TraversalSystem::new(cfg, &g, Some(&w));
+        let run = sys.sssp(4);
+        for (v, &expect) in want.iter().enumerate() {
+            let got = if run.dist[v] == INF {
+                algo::UNREACHABLE
+            } else {
+                u64::from(run.dist[v])
+            };
+            assert_eq!(got, expect, "{ename}, vertex {v}");
+        }
+    }
+}
+
+#[test]
+fn cc_matches_union_find_for_every_engine() {
+    let g = generators::uniform_random(500, 4, 31);
+    let want = algo::cc_labels(&g);
+    for (ename, cfg) in engines() {
+        let mut sys = TraversalSystem::new(cfg, &g, None);
+        assert_eq!(sys.cc().comp, want, "{ename}");
+    }
+}
+
+#[test]
+fn halo_and_subway_agree_with_reference() {
+    let g = generators::web_crawl(800, 8, 80, 0.85, 5);
+    let src = (0..800u32).find(|&v| g.degree(v) > 0).unwrap();
+    let want = algo::bfs_levels(&g, src);
+
+    let halo = HaloSystem::new(
+        TraversalConfig::uvm_v100().with_machine(MachineConfig::titan_xp_gen3()),
+        &g,
+        None,
+    );
+    assert_eq!(halo.bfs(src).levels, want, "halo");
+
+    let mut subway = SubwaySystem::new(MachineConfig::v100_gen3(), &g, None, SubwayMode::Async);
+    assert_eq!(subway.bfs(src).levels, want, "subway");
+}
+
+#[test]
+fn four_byte_elements_change_traffic_not_results() {
+    let g = generators::uniform_random(400, 8, 7);
+    let want = algo::bfs_levels(&g, 0);
+    let mut sys8 = TraversalSystem::new(TraversalConfig::emogi_v100(), &g, None);
+    let mut sys4 = TraversalSystem::new(
+        TraversalConfig::emogi_v100().with_elem_bytes(4),
+        &g,
+        None,
+    );
+    let r8 = sys8.bfs(0);
+    let r4 = sys4.bfs(0);
+    assert_eq!(r8.levels, want);
+    assert_eq!(r4.levels, want);
+    assert!(
+        r4.stats.host_bytes < r8.stats.host_bytes,
+        "4-byte edges must move fewer bytes: {} vs {}",
+        r4.stats.host_bytes,
+        r8.stats.host_bytes
+    );
+}
+
+#[test]
+fn all_machines_run_all_engines() {
+    let g = generators::uniform_random(300, 6, 3);
+    let want = algo::bfs_levels(&g, 1);
+    for machine in [
+        MachineConfig::v100_gen3(),
+        MachineConfig::a100_gen3(),
+        MachineConfig::a100_gen4(),
+        MachineConfig::titan_xp_gen3(),
+    ] {
+        for placement in [EdgePlacement::ZeroCopyHost, EdgePlacement::Uvm] {
+            let mut cfg = TraversalConfig::emogi_v100().with_machine(machine.clone());
+            cfg.placement = placement;
+            let mut sys = TraversalSystem::new(cfg, &g, None);
+            assert_eq!(sys.bfs(1).levels, want, "{placement:?}");
+        }
+    }
+}

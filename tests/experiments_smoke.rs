@@ -1,0 +1,70 @@
+//! Smoke tests over the experiment harness: every figure/table
+//! regenerator runs at reduced scale and produces a well-formed table.
+//! (Full-scale numbers come from `repro all` in release mode and are
+//! recorded in EXPERIMENTS.md.)
+
+use emogi_bench::{experiments, Context};
+
+fn ctx() -> Context {
+    Context::new(1, 32)
+}
+
+#[test]
+fn quick_experiments_produce_tables() {
+    // The cheap ones, run individually.
+    for id in ["table1", "table2", "fig3", "fig4", "fig6"] {
+        let tables = experiments::run(id, &ctx());
+        assert!(!tables.is_empty(), "{id}");
+        for t in &tables {
+            assert!(!t.headers.is_empty(), "{id}");
+            assert!(!t.rows.is_empty(), "{id}");
+            for row in &t.rows {
+                assert_eq!(row.len(), t.headers.len(), "{id} row width");
+            }
+        }
+    }
+}
+
+#[test]
+fn bfs_case_study_figures_share_one_matrix() {
+    // fig5/7/8/9/10 all derive from the BFS matrix; run them through the
+    // dispatcher once each to cover the id paths.
+    let ctx = ctx();
+    let m = experiments::matrix::BfsMatrix::compute(&ctx);
+    let tables = vec![
+        experiments::case_study::fig5(&m),
+        experiments::case_study::fig7(&m),
+        experiments::case_study::fig8(&ctx, &m),
+        experiments::case_study::fig9(&m),
+        experiments::case_study::fig10(&m),
+    ];
+    for t in &tables {
+        assert!(!t.rows.is_empty(), "{}", t.id);
+    }
+    // Figure 9's average row must show the merged engines ahead of naive.
+    let fig9 = &tables[3];
+    let avg = fig9.rows.last().unwrap();
+    let naive: f64 = avg[1].parse().unwrap();
+    let aligned: f64 = avg[3].parse().unwrap();
+    assert!(aligned > naive, "aligned {aligned} must beat naive {naive}");
+}
+
+#[test]
+fn ablations_run_and_report() {
+    let tables = experiments::run("ablations", &ctx());
+    assert_eq!(tables.len(), 5);
+}
+
+#[test]
+#[should_panic(expected = "unknown experiment id")]
+fn unknown_id_is_rejected() {
+    let _ = experiments::run("fig99", &ctx());
+}
+
+#[test]
+fn markdown_export_is_well_formed() {
+    let tables = experiments::run("table2", &ctx());
+    let md = tables[0].to_markdown();
+    assert!(md.starts_with("### table2"));
+    assert!(md.matches('|').count() > 10);
+}

@@ -1,0 +1,147 @@
+//! Accounting invariants of the simulated machine: conservation laws the
+//! traffic monitors must obey on any workload, plus bit-reproducibility.
+
+use emogi_repro::core::{AccessStrategy, TraversalConfig, TraversalSystem};
+use emogi_repro::graph::generators;
+use emogi_repro::sim::pcie::PcieGen;
+
+#[test]
+fn pcie_bytes_cover_the_touched_edge_list() {
+    // Zero-copy BFS must move at least every reachable edge element once
+    // (requests are sector-granular so overshoot is expected, undershoot
+    // never).
+    let g = generators::uniform_random(2_000, 16, 1);
+    let mut sys = TraversalSystem::new(TraversalConfig::emogi_v100(), &g, None);
+    let run = sys.bfs(0);
+    let reachable_bytes: u64 = (0..g.num_vertices() as u32)
+        .filter(|&v| run.levels[v as usize] != u32::MAX)
+        .map(|v| g.degree(v) * 8)
+        .sum();
+    assert!(
+        run.stats.host_bytes >= reachable_bytes,
+        "moved {} < touched {}",
+        run.stats.host_bytes,
+        reachable_bytes
+    );
+}
+
+#[test]
+fn histogram_total_equals_request_count() {
+    let g = generators::kronecker(10, 8, 2);
+    for strategy in [AccessStrategy::Naive, AccessStrategy::Merged, AccessStrategy::MergedAligned] {
+        let mut sys = TraversalSystem::new(
+            TraversalConfig::emogi_v100().with_strategy(strategy),
+            &g,
+            None,
+        );
+        let run = sys.bfs(1);
+        assert_eq!(
+            run.stats.request_sizes.total(),
+            run.stats.pcie_read_requests,
+            "{strategy:?}"
+        );
+        assert_eq!(run.stats.request_sizes.other, 0, "only 32/64/96/128-byte requests exist");
+        // Payload bytes must equal the histogram's weighted sum.
+        let h = &run.stats.request_sizes;
+        let weighted: u64 = h
+            .buckets
+            .iter()
+            .zip([32u64, 64, 96, 128])
+            .map(|(&c, s)| c * s)
+            .sum();
+        assert_eq!(weighted, run.stats.host_bytes, "{strategy:?}");
+    }
+}
+
+#[test]
+fn host_dram_reads_at_least_wire_payload() {
+    // 64-byte DRAM granularity means DRAM traffic >= PCIe payload.
+    let g = generators::uniform_random(1_500, 12, 3);
+    for strategy in [AccessStrategy::Naive, AccessStrategy::MergedAligned] {
+        let mut sys = TraversalSystem::new(
+            TraversalConfig::emogi_v100().with_strategy(strategy),
+            &g,
+            None,
+        );
+        let run = sys.bfs(0);
+        assert!(
+            run.stats.host_dram_bytes >= run.stats.host_bytes,
+            "{strategy:?}: DRAM {} < PCIe {}",
+            run.stats.host_dram_bytes,
+            run.stats.host_bytes
+        );
+    }
+}
+
+#[test]
+fn uvm_migration_covers_touched_pages_once_at_minimum() {
+    let g = generators::uniform_random(1_000, 16, 4);
+    let mut sys = TraversalSystem::new(TraversalConfig::uvm_v100(), &g, None);
+    let run = sys.bfs(0);
+    // Every reachable edge lives on some 4 KiB page; each such page must
+    // have migrated at least once.
+    let mut pages: Vec<u64> = (0..g.num_vertices() as u32)
+        .filter(|&v| run.levels[v as usize] != u32::MAX && g.degree(v) > 0)
+        .flat_map(|v| {
+            let s = g.neighbor_start(v) * 8 / 4096;
+            let e = (g.neighbor_end(v) * 8 - 1) / 4096;
+            s..=e
+        })
+        .collect();
+    pages.sort_unstable();
+    pages.dedup();
+    assert!(
+        run.stats.pages_migrated >= pages.len() as u64,
+        "migrated {} pages < touched {}",
+        run.stats.pages_migrated,
+        pages.len()
+    );
+}
+
+#[test]
+fn simulation_is_bit_reproducible() {
+    let g = generators::kronecker(10, 8, 5);
+    let run = |_: u32| {
+        let mut sys = TraversalSystem::new(TraversalConfig::emogi_v100(), &g, None);
+        let r = sys.bfs(3);
+        (
+            r.stats.elapsed_ns,
+            r.stats.pcie_read_requests,
+            r.stats.host_bytes,
+            r.levels,
+        )
+    };
+    assert_eq!(run(0), run(1), "two identical runs must match exactly");
+}
+
+#[test]
+fn gen4_is_never_slower_than_gen3_for_emogi() {
+    let g = generators::uniform_random(2_000, 16, 6);
+    let time = |gen: PcieGen| {
+        let mut cfg = TraversalConfig::emogi_v100();
+        cfg.machine.pcie = gen.config();
+        let mut sys = TraversalSystem::new(cfg, &g, None);
+        sys.bfs(0).stats.elapsed_ns
+    };
+    let t3 = time(PcieGen::Gen3x16);
+    let t4 = time(PcieGen::Gen4x16);
+    assert!(t4 <= t3, "gen4 {t4} vs gen3 {t3}");
+}
+
+#[test]
+fn merged_never_issues_more_requests_than_naive() {
+    for seed in [7u64, 8, 9] {
+        let g = generators::kronecker(9, 8, seed);
+        let reqs = |strategy| {
+            let mut sys = TraversalSystem::new(
+                TraversalConfig::emogi_v100().with_strategy(strategy),
+                &g,
+                None,
+            );
+            sys.bfs(1).stats.pcie_read_requests
+        };
+        let naive = reqs(AccessStrategy::Naive);
+        let merged = reqs(AccessStrategy::Merged);
+        assert!(merged <= naive, "seed {seed}: merged {merged} vs naive {naive}");
+    }
+}
