@@ -1,0 +1,234 @@
+//! The `hybrid` experiment: the hybrid zero-copy/DMA transfer manager
+//! against pure Merged+Aligned zero-copy, the UVM baseline and
+//! Subway-async, on the Table 2 generators.
+//!
+//! Three scenarios span the transport trade-off space:
+//!
+//! * **reuse-cc** (ML, the dense graph) — CC hook passes sweep the whole
+//!   edge list every pass: dense *and* recurring, the best case for bulk
+//!   staging;
+//! * **reuse-multi-bfs** (GK, the skewed graph) — several BFS traversals
+//!   share one machine, the analytics-service pattern: regions recur
+//!   across traversals and cross the policy's ski-rental point;
+//! * **sparse-bfs** (GU, the uniform graph) — a single sparse traversal:
+//!   no region recurs, so hybrid must degenerate to pure zero-copy and
+//!   tie it exactly.
+//!
+//! Everything runs with 4-byte edge elements, the §5.6 protocol for
+//! comparisons that include Subway. The cache and device capacities are
+//! divided by the context's scale divisor, like the datasets themselves,
+//! so the edge-list : cache : device-memory ratios that drive the
+//! trade-off survive reduced-scale runs.
+
+use crate::table::{f, ms};
+use crate::{Context, Table};
+use emogi_baselines::{SubwayMode, SubwaySystem};
+use emogi_core::{AccessMode, TraversalConfig, TraversalSystem};
+use emogi_graph::DatasetKey;
+use emogi_runtime::MachineConfig;
+
+/// Sources per reuse-multi-bfs cell (the scenario is about cross-
+/// traversal reuse, so it is fixed rather than taken from the context).
+const MULTI_BFS_SOURCES: usize = 4;
+
+/// One (scenario, engine) measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub scenario: &'static str,
+    pub graph: &'static str,
+    pub engine: &'static str,
+    pub total_ns: u64,
+    /// Transfer-manager counters; zero for non-hybrid engines.
+    pub staged_regions: u64,
+    pub pool_fallbacks: u64,
+}
+
+/// All measurements of one experiment run.
+#[derive(Debug, Clone)]
+pub struct HybridResults {
+    pub rows: Vec<Measurement>,
+}
+
+impl HybridResults {
+    pub fn get(&self, scenario: &str, engine: &str) -> &Measurement {
+        self.rows
+            .iter()
+            .find(|m| m.scenario == scenario && m.engine == engine)
+            .unwrap_or_else(|| panic!("no measurement for {scenario}/{engine}"))
+    }
+}
+
+/// V100 machine with cache and device memory scaled down with the
+/// datasets, preserving the out-of-cache / out-of-memory ratios.
+fn scaled_machine(scale: usize) -> MachineConfig {
+    let mut m = MachineConfig::v100_gen3();
+    let s = scale.max(1) as u64;
+    m.gpu.cache.capacity_bytes = (m.gpu.cache.capacity_bytes / s).max(32 << 10);
+    m.gpu.mem_bytes = (m.gpu.mem_bytes / s).max(256 << 10);
+    m
+}
+
+/// EMOGI-family engines of this experiment (Subway is driven separately).
+const MODES: &[(&str, AccessMode)] = &[
+    ("Hybrid", AccessMode::Hybrid),
+    ("Merged+Aligned", AccessMode::MergedAligned),
+];
+
+fn emogi_cfg(ctx: &Context, mode: AccessMode) -> TraversalConfig {
+    TraversalConfig::emogi_v100()
+        .with_mode(mode)
+        .with_machine(scaled_machine(ctx.scale))
+        .with_elem_bytes(4)
+}
+
+fn uvm_cfg(ctx: &Context) -> TraversalConfig {
+    TraversalConfig::uvm_v100()
+        .with_machine(scaled_machine(ctx.scale))
+        .with_elem_bytes(4)
+}
+
+fn push(rows: &mut Vec<Measurement>, scenario: &'static str, graph: &'static str,
+        engine: &'static str, total_ns: u64, sys: Option<&TraversalSystem>) {
+    let stats = sys.and_then(|s| s.transfer_stats());
+    rows.push(Measurement {
+        scenario,
+        graph,
+        engine,
+        total_ns,
+        staged_regions: stats.map_or(0, |s| s.staged_regions),
+        pool_fallbacks: stats.map_or(0, |s| s.pool_fallbacks),
+    });
+}
+
+/// Run every (scenario, engine) cell.
+pub fn measure(ctx: &Context) -> HybridResults {
+    let mut rows = Vec::new();
+
+    // --- reuse-cc on ML --------------------------------------------------
+    let ml = ctx.store.get(DatasetKey::Ml);
+    eprintln!("  [hybrid] reuse-cc ML ...");
+    for &(name, mode) in MODES {
+        let mut sys = TraversalSystem::new(emogi_cfg(ctx, mode), &ml.graph, None);
+        let ns = sys.cc().stats.elapsed_ns;
+        push(&mut rows, "reuse-cc", "ML", name, ns, Some(&sys));
+    }
+    {
+        let mut sys = TraversalSystem::new(uvm_cfg(ctx), &ml.graph, None);
+        let ns = sys.cc().stats.elapsed_ns;
+        push(&mut rows, "reuse-cc", "ML", "UVM", ns, None);
+    }
+    {
+        // ML is one of the undirected Table 2 graphs (SubwaySystem::cc
+        // asserts this itself).
+        let mut sub =
+            SubwaySystem::new(scaled_machine(ctx.scale), &ml.graph, None, SubwayMode::Async);
+        let ns = sub.cc().stats.elapsed_ns;
+        push(&mut rows, "reuse-cc", "ML", "Subway-async", ns, None);
+    }
+
+    // --- reuse-multi-bfs on GK -------------------------------------------
+    let gk = ctx.store.get(DatasetKey::Gk);
+    let sources = gk.sources(MULTI_BFS_SOURCES);
+    eprintln!("  [hybrid] reuse-multi-bfs GK ({} sources) ...", sources.len());
+    for &(name, mode) in MODES {
+        let mut sys = TraversalSystem::new(emogi_cfg(ctx, mode), &gk.graph, None);
+        let ns: u64 = sources.iter().map(|&s| sys.bfs(s).stats.elapsed_ns).sum();
+        push(&mut rows, "reuse-multi-bfs", "GK", name, ns, Some(&sys));
+    }
+    {
+        let mut sys = TraversalSystem::new(uvm_cfg(ctx), &gk.graph, None);
+        let ns: u64 = sources.iter().map(|&s| sys.bfs(s).stats.elapsed_ns).sum();
+        push(&mut rows, "reuse-multi-bfs", "GK", "UVM", ns, None);
+    }
+    {
+        let mut sub =
+            SubwaySystem::new(scaled_machine(ctx.scale), &gk.graph, None, SubwayMode::Async);
+        let ns: u64 = sources.iter().map(|&s| sub.bfs(s).stats.elapsed_ns).sum();
+        push(&mut rows, "reuse-multi-bfs", "GK", "Subway-async", ns, None);
+    }
+
+    // --- sparse-bfs on GU -------------------------------------------------
+    let gu = ctx.store.get(DatasetKey::Gu);
+    let src = gu.sources(1)[0];
+    eprintln!("  [hybrid] sparse-bfs GU ...");
+    for &(name, mode) in MODES {
+        let mut sys = TraversalSystem::new(emogi_cfg(ctx, mode), &gu.graph, None);
+        let ns = sys.bfs(src).stats.elapsed_ns;
+        push(&mut rows, "sparse-bfs", "GU", name, ns, Some(&sys));
+    }
+    {
+        let mut sys = TraversalSystem::new(uvm_cfg(ctx), &gu.graph, None);
+        let ns = sys.bfs(src).stats.elapsed_ns;
+        push(&mut rows, "sparse-bfs", "GU", "UVM", ns, None);
+    }
+    {
+        let mut sub =
+            SubwaySystem::new(scaled_machine(ctx.scale), &gu.graph, None, SubwayMode::Async);
+        let ns = sub.bfs(src).stats.elapsed_ns;
+        push(&mut rows, "sparse-bfs", "GU", "Subway-async", ns, None);
+    }
+
+    HybridResults { rows }
+}
+
+/// The printable table.
+pub fn hybrid(ctx: &Context) -> Table {
+    let r = measure(ctx);
+    let mut t = Table::new(
+        "hybrid",
+        "Hybrid zero-copy/DMA vs Merged+Aligned vs UVM vs Subway (4-byte elements)",
+        &["scenario", "graph", "engine", "time (ms)", "vs hybrid", "staged regions", "pool fallbacks"],
+    );
+    for m in &r.rows {
+        let hybrid_ns = r.get(m.scenario, "Hybrid").total_ns;
+        t.row(vec![
+            m.scenario.into(),
+            m.graph.into(),
+            m.engine.into(),
+            ms(m.total_ns),
+            f(m.total_ns as f64 / hybrid_ns as f64),
+            m.staged_regions.to_string(),
+            m.pool_fallbacks.to_string(),
+        ]);
+    }
+    t.note(
+        "reuse scenarios: dense / recurring regions are bulk-staged into device memory \
+         (DMA) and re-read at HBM speed; sparse-bfs: nothing recurs, the policy stages \
+         nothing and hybrid ties pure zero-copy tick for tick",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_wins_reuse_and_ties_sparse() {
+        let ctx = Context::new(1, 32);
+        let r = measure(&ctx);
+
+        // Dense + recurring: hybrid must beat pure zero-copy outright.
+        let hy_cc = r.get("reuse-cc", "Hybrid").total_ns;
+        let zc_cc = r.get("reuse-cc", "Merged+Aligned").total_ns;
+        assert!(hy_cc < zc_cc, "reuse-cc: hybrid {hy_cc} vs zero-copy {zc_cc}");
+        assert!(r.get("reuse-cc", "Hybrid").staged_regions > 0);
+
+        // Recurring across traversals: hybrid must beat zero-copy too.
+        let hy_mb = r.get("reuse-multi-bfs", "Hybrid").total_ns;
+        let zc_mb = r.get("reuse-multi-bfs", "Merged+Aligned").total_ns;
+        assert!(hy_mb < zc_mb, "multi-bfs: hybrid {hy_mb} vs zero-copy {zc_mb}");
+
+        // Sparse one-shot: no staging, and never worse than the better of
+        // zero-copy and Subway.
+        let hy_sp = r.get("sparse-bfs", "Hybrid");
+        let zc_sp = r.get("sparse-bfs", "Merged+Aligned").total_ns;
+        let sub_sp = r.get("sparse-bfs", "Subway-async").total_ns;
+        assert_eq!(hy_sp.staged_regions, 0, "sparse case must not stage");
+        assert!(
+            hy_sp.total_ns <= zc_sp.min(sub_sp),
+            "sparse: hybrid {} vs zero-copy {zc_sp} / subway {sub_sp}",
+            hy_sp.total_ns
+        );
+    }
+}

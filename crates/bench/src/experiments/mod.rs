@@ -4,6 +4,7 @@
 pub mod ablations;
 pub mod apps;
 pub mod case_study;
+pub mod hybrid;
 pub mod matrix;
 pub mod misc;
 pub mod prior;
@@ -11,10 +12,11 @@ pub mod toy;
 
 use crate::{Context, Table};
 
-/// All experiment ids in paper order.
+/// All experiment ids: the paper's, in paper order, then this repo's own
+/// extensions.
 pub const ALL_IDS: &[&str] = &[
     "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "table3", "ablations",
+    "fig11", "fig12", "table3", "ablations", "hybrid",
 ];
 
 /// Run one experiment by id. The BFS case-study figures (5, 7–10) share
@@ -40,6 +42,7 @@ pub fn run(id: &str, ctx: &Context) -> Vec<Table> {
         "fig12" => vec![apps::fig12(ctx)],
         "table3" => vec![prior::table3(ctx)],
         "ablations" => ablations::all(ctx),
+        "hybrid" => vec![hybrid::hybrid(ctx)],
         other => panic!("unknown experiment id {other:?} (known: {ALL_IDS:?})"),
     }
 }
@@ -58,5 +61,6 @@ pub fn run_all(ctx: &Context) -> Vec<Table> {
     out.push(apps::fig12(ctx));
     out.push(prior::table3(ctx));
     out.extend(ablations::all(ctx));
+    out.push(hybrid::hybrid(ctx));
     out
 }

@@ -5,8 +5,8 @@
 //! `repro` binary:
 //!
 //! ```text
-//! cargo run --release -p emogi-bench --bin repro -- all
-//! cargo run --release -p emogi-bench --bin repro -- fig9 --sources 8
+//! cargo run --release -p emogi_bench --bin repro -- all
+//! cargo run --release -p emogi_bench --bin repro -- fig9 --sources 8
 //! ```
 //!
 //! Figures that share measurements are derived from one run matrix (the

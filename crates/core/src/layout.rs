@@ -8,7 +8,7 @@
 
 use emogi_graph::CsrGraph;
 use emogi_gpu::access::Space;
-use emogi_runtime::Machine;
+use emogi_runtime::{Machine, RegionMap, HOST_BASE};
 
 /// Which memory mechanism serves the edge list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,6 +53,9 @@ pub struct GraphLayout {
     pub elem_bytes: u64,
     /// Space the edge and weight arrays live in.
     pub edge_space: Space,
+    /// Hybrid mode only: regions of the edge list staged into device
+    /// memory by the transfer manager; refreshed before each launch.
+    pub staged_edges: Option<RegionMap>,
 }
 
 impl GraphLayout {
@@ -87,6 +90,7 @@ impl GraphLayout {
             status_base,
             elem_bytes,
             edge_space: placement.space(),
+            staged_edges: None,
         }
     }
 
@@ -96,10 +100,29 @@ impl GraphLayout {
         128 / self.elem_bytes
     }
 
-    /// Address of edge-list element `i`.
+    /// Address of edge-list element `i`. In hybrid mode a staged region
+    /// redirects into device memory.
     #[inline]
     pub fn edge_addr(&self, i: u64) -> u64 {
-        self.edge_base + i * self.elem_bytes
+        let off = i * self.elem_bytes;
+        if let Some(map) = &self.staged_edges {
+            if let Some(dev) = map.translate(off) {
+                return dev;
+            }
+        }
+        self.edge_base + off
+    }
+
+    /// Space of an edge-list access at `addr` (as produced by
+    /// [`edge_addr`](Self::edge_addr)): staged addresses live below the
+    /// pinned-host window and are priced as device memory.
+    #[inline]
+    pub fn edge_addr_space(&self, addr: u64) -> Space {
+        if addr < HOST_BASE {
+            Space::Device
+        } else {
+            self.edge_space
+        }
     }
 
     /// Address of weight element `i`.

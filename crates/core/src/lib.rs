@@ -49,5 +49,5 @@ pub mod traversal;
 pub mod walk;
 
 pub use layout::{EdgePlacement, GraphLayout};
-pub use strategy::AccessStrategy;
+pub use strategy::{AccessMode, AccessStrategy};
 pub use traversal::{TraversalSystem, TraversalConfig};

@@ -1,5 +1,7 @@
 //! The three zero-copy access strategies evaluated in §5 (Naive, Merged,
-//! Merged+Aligned) — the paper's Figures 5, 7, 8, 9 compare exactly these.
+//! Merged+Aligned) — the paper's Figures 5, 7, 8, 9 compare exactly these
+//! — plus [`AccessMode`], which adds the hybrid zero-copy/DMA mode on top
+//! of them.
 
 /// How GPU threads are assigned to neighbour lists and how their accesses
 /// are laid out.
@@ -50,6 +52,52 @@ impl AccessStrategy {
     }
 }
 
+/// A full access mode: the three §5 zero-copy strategies plus the hybrid
+/// transport that keeps Merged+Aligned kernels but lets the runtime's
+/// transfer manager stage hot edge-list regions into device memory via
+/// bulk DMA (dense, recurring regions) while sparse regions stay
+/// zero-copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    Naive,
+    Merged,
+    MergedAligned,
+    /// Merged+Aligned kernels over a per-region zero-copy/DMA mix.
+    Hybrid,
+}
+
+impl AccessMode {
+    pub fn all() -> [AccessMode; 4] {
+        [
+            AccessMode::Naive,
+            AccessMode::Merged,
+            AccessMode::MergedAligned,
+            AccessMode::Hybrid,
+        ]
+    }
+
+    /// The kernel-level access strategy this mode runs with.
+    pub fn strategy(self) -> AccessStrategy {
+        match self {
+            AccessMode::Naive => AccessStrategy::Naive,
+            AccessMode::Merged => AccessStrategy::Merged,
+            AccessMode::MergedAligned | AccessMode::Hybrid => AccessStrategy::MergedAligned,
+        }
+    }
+
+    /// Does this mode mix transports via the transfer manager?
+    pub fn is_hybrid(self) -> bool {
+        matches!(self, AccessMode::Hybrid)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessMode::Hybrid => "Hybrid",
+            other => other.strategy().name(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +124,15 @@ mod tests {
         assert!(AccessStrategy::Merged.warp_per_vertex());
         assert!(!AccessStrategy::Naive.warp_per_vertex());
         assert_eq!(AccessStrategy::MergedAligned.name(), "Merged+Aligned");
+    }
+
+    #[test]
+    fn modes_map_onto_strategies() {
+        assert_eq!(AccessMode::Hybrid.strategy(), AccessStrategy::MergedAligned);
+        assert_eq!(AccessMode::Naive.strategy(), AccessStrategy::Naive);
+        assert!(AccessMode::Hybrid.is_hybrid());
+        assert!(!AccessMode::MergedAligned.is_hybrid());
+        assert_eq!(AccessMode::Hybrid.name(), "Hybrid");
+        assert_eq!(AccessMode::all().len(), 4);
     }
 }

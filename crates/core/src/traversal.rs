@@ -12,12 +12,12 @@ use crate::bfs::BfsKernel;
 use crate::cc::{shortcut, CcKernel};
 use crate::layout::{EdgePlacement, GraphLayout};
 use crate::sssp::{SsspKernel, INF};
-use crate::strategy::AccessStrategy;
+use crate::strategy::{AccessMode, AccessStrategy};
 use emogi_graph::{CsrGraph, VertexId, UNVISITED};
 use emogi_runtime::exec::run_kernel;
 use emogi_runtime::machine::MachineConfig;
 use emogi_runtime::report::RunStats;
-use emogi_runtime::Machine;
+use emogi_runtime::{Machine, TransferConfig, TransferManager, TransferStats};
 
 /// How to build a [`TraversalSystem`].
 #[derive(Debug, Clone)]
@@ -28,6 +28,9 @@ pub struct TraversalConfig {
     /// Simulated edge element size: 8 by default, 4 for the Subway
     /// comparison (§5.6).
     pub elem_bytes: u64,
+    /// Hybrid mode: stage hot edge-list regions into device memory via
+    /// the runtime's transfer manager. Requires `ZeroCopyHost` placement.
+    pub transfer: Option<TransferConfig>,
 }
 
 impl TraversalConfig {
@@ -38,6 +41,7 @@ impl TraversalConfig {
             strategy: AccessStrategy::MergedAligned,
             placement: EdgePlacement::ZeroCopyHost,
             elem_bytes: 8,
+            transfer: None,
         }
     }
 
@@ -49,11 +53,38 @@ impl TraversalConfig {
             strategy: AccessStrategy::Merged,
             placement: EdgePlacement::Uvm,
             elem_bytes: 8,
+            transfer: None,
         }
+    }
+
+    /// Hybrid transport on the V100 platform: merged + aligned kernels,
+    /// with dense / recurring edge-list regions bulk-staged into device
+    /// memory and the rest read zero-copy.
+    pub fn hybrid_v100() -> Self {
+        Self::emogi_v100().with_mode(AccessMode::Hybrid)
     }
 
     pub fn with_strategy(mut self, s: AccessStrategy) -> Self {
         self.strategy = s;
+        self
+    }
+
+    /// Select a full access mode. A mode bundles kernel strategy *and*
+    /// transport, so this always sets `ZeroCopyHost` placement —
+    /// overwriting a previously configured UVM placement — and clears
+    /// any transfer manager for the three pure zero-copy modes;
+    /// `Hybrid` installs the default one. To vary only the kernel
+    /// strategy of a UVM configuration, use
+    /// [`with_strategy`](Self::with_strategy) instead.
+    pub fn with_mode(mut self, mode: AccessMode) -> Self {
+        self.strategy = mode.strategy();
+        self.placement = EdgePlacement::ZeroCopyHost;
+        self.transfer = mode.is_hybrid().then(TransferConfig::default);
+        self
+    }
+
+    pub fn with_transfer(mut self, transfer: TransferConfig) -> Self {
+        self.transfer = Some(transfer);
         self
     }
 
@@ -97,6 +128,8 @@ pub struct TraversalSystem<'g> {
     weights: Option<&'g [u32]>,
     layout: GraphLayout,
     strategy: AccessStrategy,
+    /// Hybrid mode: the per-region zero-copy / DMA transfer manager.
+    transfer: Option<TransferManager>,
 }
 
 impl<'g> TraversalSystem<'g> {
@@ -109,12 +142,21 @@ impl<'g> TraversalSystem<'g> {
             cfg.placement,
             weights.is_some(),
         );
+        let transfer = cfg.transfer.map(|tcfg| {
+            assert_eq!(
+                cfg.placement,
+                EdgePlacement::ZeroCopyHost,
+                "hybrid transfers manage the pinned-host edge list"
+            );
+            TransferManager::new(&machine, graph.edge_list_bytes(cfg.elem_bytes), tcfg)
+        });
         Self {
             machine,
             graph,
             weights,
             layout,
             strategy: cfg.strategy,
+            transfer,
         }
     }
 
@@ -124,6 +166,46 @@ impl<'g> TraversalSystem<'g> {
 
     pub fn strategy(&self) -> AccessStrategy {
         self.strategy
+    }
+
+    /// Transfer-manager counters (hybrid mode only).
+    pub fn transfer_stats(&self) -> Option<TransferStats> {
+        self.transfer.as_ref().map(|t| t.stats)
+    }
+
+    /// Hybrid planning before a launch that will expand `frontier`: tell
+    /// the transfer manager exactly which edge-list byte ranges the
+    /// kernel will read, let it stage regions (advancing the machine
+    /// clock by the bulk-copy time), and refresh the layout's staged-
+    /// region table for the kernel's address computation.
+    fn plan_transfers(&mut self, frontier: &[VertexId]) {
+        let Some(tm) = self.transfer.as_mut() else {
+            return;
+        };
+        let elem = self.layout.elem_bytes;
+        for &v in frontier {
+            let lo = self.graph.neighbor_start(v) * elem;
+            let hi = self.graph.neighbor_end(v) * elem;
+            tm.note_upcoming(lo, hi);
+        }
+        // Refresh the layout's table only when it changed: a traversal
+        // that never stages keeps `staged_edges == None` and the address
+        // path free of region lookups.
+        if tm.plan(&mut self.machine) {
+            self.layout.staged_edges = Some(tm.region_map());
+        }
+    }
+
+    /// Hybrid planning for a launch that sweeps the whole edge list (CC
+    /// hook passes activate every vertex).
+    fn plan_transfers_full(&mut self) {
+        let Some(tm) = self.transfer.as_mut() else {
+            return;
+        };
+        tm.note_upcoming(0, self.graph.edge_list_bytes(self.layout.elem_bytes));
+        if tm.plan(&mut self.machine) {
+            self.layout.staged_edges = Some(tm.region_map());
+        }
     }
 
     /// Edge-list bytes as placed (the Figure 10 denominator).
@@ -151,6 +233,7 @@ impl<'g> TraversalSystem<'g> {
         let mut level = 0u32;
         while !frontier.is_empty() {
             self.charge_vertex_scan();
+            self.plan_transfers(&frontier);
             let mut next = Vec::new();
             let mut kernel = BfsKernel::new(
                 self.graph,
@@ -183,6 +266,7 @@ impl<'g> TraversalSystem<'g> {
         let mut launches = 0u64;
         while !frontier.is_empty() {
             self.charge_vertex_scan();
+            self.plan_transfers(&frontier);
             let mut next = Vec::new();
             let mut kernel = SsspKernel::new(
                 self.graph,
@@ -215,6 +299,7 @@ impl<'g> TraversalSystem<'g> {
         let mut hook_passes = 0u64;
         loop {
             self.charge_vertex_scan();
+            self.plan_transfers_full();
             let mut kernel = CcKernel::new(self.graph, &self.layout, self.strategy, &mut comp);
             run_kernel(&mut self.machine, &mut kernel);
             let changed = kernel.changed;
@@ -313,6 +398,121 @@ mod tests {
         assert!(
             b.stats.host_bytes < a.stats.host_bytes,
             "second run should benefit from the warm cache"
+        );
+    }
+
+    #[test]
+    fn hybrid_bfs_matches_reference() {
+        let g = generators::kronecker(9, 8, 21);
+        let mut sys = TraversalSystem::new(TraversalConfig::hybrid_v100(), &g, None);
+        let run = sys.bfs(1);
+        assert_eq!(run.levels, algo::bfs_levels(&g, 1));
+        assert_eq!(run.stats.page_faults, 0, "hybrid never touches UVM");
+        assert!(run.stats.elapsed_ns > 0);
+    }
+
+    #[test]
+    fn hybrid_sssp_and_cc_match_reference() {
+        let g = generators::uniform_random(300, 8, 3);
+        let w = generate_weights(g.num_edges(), 3);
+        let mut sys = TraversalSystem::new(TraversalConfig::hybrid_v100(), &g, Some(&w));
+        let run = sys.sssp(5);
+        let expect = algo::sssp_distances(&g, &w, 5);
+        for (v, &want) in expect.iter().enumerate() {
+            let got = if run.dist[v] == INF {
+                algo::UNREACHABLE
+            } else {
+                u64::from(run.dist[v])
+            };
+            assert_eq!(got, want, "vertex {v}");
+        }
+        let g2 = generators::uniform_random(400, 4, 8);
+        let mut sys2 = TraversalSystem::new(TraversalConfig::hybrid_v100(), &g2, None);
+        assert_eq!(sys2.cc().comp, algo::cc_labels(&g2));
+    }
+
+    #[test]
+    fn hybrid_stays_pure_zero_copy_on_a_sparse_one_shot_bfs() {
+        // A single sparse BFS reads each region at most ~once in total:
+        // the ski-rental policy must never stage, so hybrid and pure
+        // merged+aligned are the *same* simulation, tick for tick.
+        let g = generators::uniform_random(2_000, 16, 1);
+        let mut zc = TraversalSystem::new(TraversalConfig::emogi_v100(), &g, None);
+        let mut hy = TraversalSystem::new(TraversalConfig::hybrid_v100(), &g, None);
+        let rz = zc.bfs(0);
+        let rh = hy.bfs(0);
+        let stats = hy.transfer_stats().unwrap();
+        assert_eq!(stats.staged_regions, 0, "one-shot sparse BFS must not stage");
+        assert_eq!(rh.stats.elapsed_ns, rz.stats.elapsed_ns);
+        assert_eq!(rh.stats.pcie_read_requests, rz.stats.pcie_read_requests);
+    }
+
+    /// V100 config with the cache shrunk below the test graphs' edge
+    /// lists, modelling the paper's regime (edge list >> cache) without
+    /// paying for multi-million-edge graphs in a unit test.
+    fn oversubscribed(mut cfg: TraversalConfig) -> TraversalConfig {
+        cfg.machine.gpu.cache.capacity_bytes = 64 << 10;
+        cfg
+    }
+
+    #[test]
+    fn hybrid_cc_stages_the_full_sweep_and_beats_zero_copy() {
+        // CC hook passes read the whole edge list every pass: the policy
+        // stages everything up front and passes 2+ run from HBM.
+        let g = generators::lognormal_dense(400, 60.0, 0.5, 16, 5);
+        let mut zc =
+            TraversalSystem::new(oversubscribed(TraversalConfig::emogi_v100()), &g, None);
+        let mut hy =
+            TraversalSystem::new(oversubscribed(TraversalConfig::hybrid_v100()), &g, None);
+        let rz = zc.cc();
+        let rh = hy.cc();
+        assert_eq!(rh.comp, rz.comp);
+        let stats = hy.transfer_stats().unwrap();
+        assert!(stats.staged_regions > 0, "full sweep must stage");
+        assert!(
+            rh.stats.elapsed_ns < rz.stats.elapsed_ns,
+            "hybrid CC {} must beat zero-copy {}",
+            rh.stats.elapsed_ns,
+            rz.stats.elapsed_ns
+        );
+    }
+
+    #[test]
+    fn hybrid_learns_across_repeated_traversals() {
+        // Multiple BFS sources on one machine: regions recur, cross the
+        // ski-rental point, and later traversals read mostly from HBM.
+        let g = generators::uniform_random(3_000, 24, 4);
+        let mut zc =
+            TraversalSystem::new(oversubscribed(TraversalConfig::emogi_v100()), &g, None);
+        let mut hy =
+            TraversalSystem::new(oversubscribed(TraversalConfig::hybrid_v100()), &g, None);
+        let sources = [0u32, 7, 21, 40];
+        let mut zc_total = 0u64;
+        let mut hy_total = 0u64;
+        let mut hy_last_reqs = 0u64;
+        for &s in &sources {
+            let rz = zc.bfs(s);
+            let rh = hy.bfs(s);
+            assert_eq!(rh.levels, rz.levels, "source {s}");
+            zc_total += rz.stats.elapsed_ns;
+            hy_total += rh.stats.elapsed_ns;
+            hy_last_reqs = rh.stats.pcie_read_requests;
+        }
+        let stats = hy.transfer_stats().unwrap();
+        assert!(stats.staged_regions > 0, "recurring regions must stage");
+        assert!(
+            hy_total < zc_total,
+            "hybrid total {hy_total} must beat zero-copy {zc_total}"
+        );
+        // Once staged, the final traversal barely touches the link.
+        let first_reqs = {
+            let mut fresh =
+                TraversalSystem::new(oversubscribed(TraversalConfig::hybrid_v100()), &g, None);
+            fresh.bfs(0).stats.pcie_read_requests
+        };
+        assert!(
+            hy_last_reqs < first_reqs / 2,
+            "staged regions should absorb most reads: {hy_last_reqs} vs {first_reqs}"
         );
     }
 

@@ -41,7 +41,8 @@ impl WarpWalk {
         let chunk_end = (self.cursor + WARP_SIZE as u64).min(self.end);
         let lo = self.cursor.max(self.start_org);
         for i in lo..chunk_end {
-            batch.load(layout.edge_addr(i), layout.elem_bytes as u8, layout.edge_space);
+            let addr = layout.edge_addr(i);
+            batch.load(addr, layout.elem_bytes as u8, layout.edge_addr_space(addr));
         }
         self.cursor = chunk_end;
         (lo, chunk_end)
@@ -104,10 +105,11 @@ impl LaneWalk {
             let mut any = false;
             for lane in &mut self.lanes {
                 if lane.0 < lane.1 {
+                    let addr = layout.edge_addr(lane.0);
                     batch.load_instr(
-                        layout.edge_addr(lane.0),
+                        addr,
                         layout.elem_bytes as u8,
-                        layout.edge_space,
+                        layout.edge_addr_space(addr),
                         k,
                     );
                     loaded.push((lane.0, k));
@@ -147,6 +149,7 @@ mod tests {
             status_base: 0x1_0000_1000_0000,
             elem_bytes: 8,
             edge_space: EdgePlacement::ZeroCopyHost.space(),
+            staged_edges: None,
         }
     }
 

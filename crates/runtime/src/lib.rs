@@ -13,6 +13,7 @@
 //! * [`alloc`] — simulated address spaces (device / pinned-host / managed);
 //! * [`machine`] — the machine bundle: GPU + link + DRAMs + cache + UVM;
 //! * [`exec`] — the discrete-event executor and the [`Kernel`] trait;
+//! * [`transfer`] — the hybrid zero-copy / DMA transfer manager;
 //! * [`report`] — per-kernel and per-run statistics;
 //! * [`util`] — small fast-hash map used on the hot path.
 
@@ -20,9 +21,11 @@ pub mod alloc;
 pub mod exec;
 pub mod machine;
 pub mod report;
+pub mod transfer;
 pub mod util;
 
 pub use alloc::{AddressSpaces, DEVICE_BASE, HOST_BASE, MANAGED_BASE};
 pub use exec::{Kernel, StepOutcome};
 pub use machine::{Machine, MachineConfig};
 pub use report::KernelReport;
+pub use transfer::{RegionMap, TransferConfig, TransferManager, TransferStats};

@@ -1,0 +1,390 @@
+//! Hybrid zero-copy / DMA transfer manager.
+//!
+//! One [`TransferManager`] watches a pinned-host array (the edge list) in
+//! fixed-size regions. Before each kernel iteration the traversal driver
+//! reports exactly which byte ranges the iteration will read
+//! ([`note_upcoming`](TransferManager::note_upcoming) — the frontier
+//! determines this precisely), then calls
+//! [`plan`](TransferManager::plan): the [`emogi_uvm::TransferPolicy`]
+//! picks, per touched region, between staying zero-copy and staging the
+//! region into device memory with one bulk DMA copy through the machine's
+//! [`emogi_sim::DmaEngine`]. Staged regions are recorded in a
+//! [`RegionMap`] that the kernel-side address computation consults, so
+//! their reads are priced as cache-fronted HBM instead of PCIe.
+//!
+//! Device memory for staged regions comes from a bounded pool carved out
+//! of the machine's free device capacity ([`crate::alloc`]); when the
+//! pool runs dry the manager falls back to zero-copy for the remaining
+//! regions (and keeps feeding the policy, so accounting stays truthful).
+//! Nothing is ever un-staged: the simulated workloads only grow hotter
+//! with iteration count, and a bounded pool plus fallback keeps the model
+//! honest without an eviction clock.
+
+use crate::machine::Machine;
+use emogi_uvm::{TransferDecision, TransferPolicy, TransferPolicyConfig};
+
+/// Sentinel in a [`RegionMap`] table: region not staged.
+pub const UNMAPPED: u64 = u64::MAX;
+
+/// How to build a [`TransferManager`].
+#[derive(Debug, Clone)]
+pub struct TransferConfig {
+    /// Region granularity in bytes; a power of two, at least one 128-byte
+    /// cache line (so no line ever straddles a region boundary).
+    pub region_bytes: u64,
+    /// Device-pool budget for staged regions; `None` takes all device
+    /// memory still free after the explicit allocations.
+    pub pool_bytes: Option<u64>,
+    pub policy: TransferPolicyConfig,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        Self {
+            region_bytes: 64 << 10,
+            pool_bytes: None,
+            policy: TransferPolicyConfig::default(),
+        }
+    }
+}
+
+/// Staged-region address translation table, cheap to clone into whoever
+/// computes kernel addresses.
+#[derive(Debug, Clone)]
+pub struct RegionMap {
+    shift: u32,
+    /// Region index -> device base address, or [`UNMAPPED`].
+    table: Vec<u64>,
+}
+
+impl RegionMap {
+    /// Translate a byte offset within the watched array: `Some(device
+    /// address)` when the offset's region is staged.
+    #[inline]
+    pub fn translate(&self, offset: u64) -> Option<u64> {
+        let dev = self.table[(offset >> self.shift) as usize];
+        if dev == UNMAPPED {
+            None
+        } else {
+            Some(dev + (offset & ((1u64 << self.shift) - 1)))
+        }
+    }
+
+    pub fn num_regions(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn staged_regions(&self) -> usize {
+        self.table.iter().filter(|&&d| d != UNMAPPED).count()
+    }
+}
+
+/// Counters for reporting and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransferStats {
+    /// Regions staged into device memory so far.
+    pub staged_regions: u64,
+    /// Bytes bulk-copied for staging.
+    pub staged_bytes: u64,
+    /// Stage decisions that fell back to zero-copy because the device
+    /// pool was exhausted.
+    pub pool_fallbacks: u64,
+    /// Planning rounds that staged at least one region.
+    pub staging_rounds: u64,
+}
+
+/// The per-array hybrid transfer manager.
+#[derive(Debug)]
+pub struct TransferManager {
+    region_bytes: u64,
+    shift: u32,
+    /// Total bytes of the watched array.
+    len_bytes: u64,
+    policy: TransferPolicy,
+    /// Region -> staged device base ([`UNMAPPED`] when zero-copy).
+    table: Vec<u64>,
+    /// Scratch: bytes the upcoming iteration reads, per region.
+    upcoming: Vec<u64>,
+    /// Scratch: regions with nonzero `upcoming`, in first-touch order.
+    touched: Vec<u32>,
+    pool_left: u64,
+    pub stats: TransferStats,
+}
+
+impl TransferManager {
+    /// Watch `len_bytes` of pinned host memory on `machine`. The pool
+    /// budget is capped by the device memory still free at this point.
+    pub fn new(machine: &Machine, len_bytes: u64, cfg: TransferConfig) -> Self {
+        assert!(
+            cfg.region_bytes.is_power_of_two() && cfg.region_bytes >= 128,
+            "region_bytes must be a power of two >= 128, got {}",
+            cfg.region_bytes
+        );
+        let regions = len_bytes.div_ceil(cfg.region_bytes) as usize;
+        let pool_left = cfg
+            .pool_bytes
+            .unwrap_or(u64::MAX)
+            .min(machine.spaces.device_free());
+        Self {
+            region_bytes: cfg.region_bytes,
+            shift: cfg.region_bytes.trailing_zeros(),
+            len_bytes,
+            policy: TransferPolicy::new(regions, cfg.policy),
+            table: vec![UNMAPPED; regions],
+            upcoming: vec![0; regions],
+            touched: Vec::new(),
+            pool_left,
+            stats: TransferStats::default(),
+        }
+    }
+
+    pub fn num_regions(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn region_bytes(&self) -> u64 {
+        self.region_bytes
+    }
+
+    pub fn pool_left(&self) -> u64 {
+        self.pool_left
+    }
+
+    pub fn is_staged(&self, region: usize) -> bool {
+        self.table[region] != UNMAPPED
+    }
+
+    pub fn staged_regions(&self) -> usize {
+        self.stats.staged_regions as usize
+    }
+
+    /// Actual bytes of region `r` (the last region may be partial).
+    fn region_len(&self, r: usize) -> u64 {
+        let start = r as u64 * self.region_bytes;
+        self.region_bytes.min(self.len_bytes - start)
+    }
+
+    /// Report that the upcoming iteration reads byte range `[lo, hi)` of
+    /// the watched array. Ranges may overlap region boundaries and each
+    /// other; per-region bytes saturate at the region size.
+    pub fn note_upcoming(&mut self, lo: u64, hi: u64) {
+        debug_assert!(lo <= hi && hi <= self.len_bytes, "range {lo}..{hi}");
+        if lo == hi {
+            return;
+        }
+        let first = (lo >> self.shift) as usize;
+        let last = ((hi - 1) >> self.shift) as usize;
+        for r in first..=last {
+            let r_start = r as u64 * self.region_bytes;
+            let r_end = r_start + self.region_len(r);
+            let bytes = hi.min(r_end) - lo.max(r_start);
+            if self.upcoming[r] == 0 {
+                self.touched.push(r as u32);
+            }
+            self.upcoming[r] = (self.upcoming[r] + bytes).min(self.region_len(r));
+        }
+    }
+
+    /// Decide and execute this iteration's stagings: consult the policy
+    /// for every touched, not-yet-staged region, allocate device memory
+    /// for the winners while the pool lasts, and issue one batched bulk
+    /// copy for all of them (the copies queue back-to-back on the DMA
+    /// engine, so the launch overhead is paid once per round). Clears the
+    /// upcoming-iteration scratch. Returns whether any region was staged
+    /// this round (i.e. whether the translation table changed).
+    pub fn plan(&mut self, machine: &mut Machine) -> bool {
+        // First-touch order follows the frontier, which is sorted by the
+        // traversal drivers — sort to be robust against unsorted callers
+        // (determinism, and allocation order independent of touch order).
+        self.touched.sort_unstable();
+        let mut copy_bytes = 0u64;
+        for i in 0..self.touched.len() {
+            let r = self.touched[i] as usize;
+            let bytes = std::mem::take(&mut self.upcoming[r]);
+            if self.table[r] != UNMAPPED {
+                continue; // already on device; reads go to HBM
+            }
+            let len = self.region_len(r);
+            // The allocator rounds to 128-byte lines; budget the rounded
+            // size so the pool never outruns real capacity (a partial
+            // last region is smaller than its allocation).
+            let need = len.div_ceil(128) * 128;
+            let density = bytes as f64 / len as f64;
+            match self.policy.decide(r, density.min(1.0)) {
+                TransferDecision::Stage if self.pool_left >= need => {
+                    self.table[r] = machine.alloc_device(len);
+                    self.pool_left -= need;
+                    copy_bytes += len;
+                    self.stats.staged_regions += 1;
+                    self.stats.staged_bytes += len;
+                }
+                TransferDecision::Stage => {
+                    self.stats.pool_fallbacks += 1;
+                    self.policy.note_zero_copy(r, density);
+                }
+                TransferDecision::ZeroCopy => {
+                    self.policy.note_zero_copy(r, density);
+                }
+            }
+        }
+        self.touched.clear();
+        if copy_bytes > 0 {
+            self.stats.staging_rounds += 1;
+            machine.memcpy_to_device(copy_bytes);
+        }
+        copy_bytes > 0
+    }
+
+    /// Snapshot of the translation table for the kernel address path.
+    pub fn region_map(&self) -> RegionMap {
+        RegionMap {
+            shift: self.shift,
+            table: self.table.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use emogi_uvm::TransferPolicyConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::v100_gen3())
+    }
+
+    fn cfg(region_bytes: u64, pool: Option<u64>) -> TransferConfig {
+        TransferConfig {
+            region_bytes,
+            pool_bytes: pool,
+            policy: TransferPolicyConfig::default(),
+        }
+    }
+
+    #[test]
+    fn regions_cover_the_array() {
+        let m = machine();
+        let tm = TransferManager::new(&m, 200 << 10, cfg(64 << 10, None));
+        assert_eq!(tm.num_regions(), 4);
+        assert_eq!(tm.region_len(0), 64 << 10);
+        assert_eq!(tm.region_len(3), 8 << 10, "last region is partial");
+    }
+
+    #[test]
+    fn dense_upcoming_region_is_staged_and_copied() {
+        let mut m = machine();
+        m.alloc_host_pinned(128 << 10);
+        let mut tm = TransferManager::new(&m, 128 << 10, cfg(64 << 10, None));
+        tm.note_upcoming(0, 64 << 10); // region 0 fully read next iteration
+        tm.note_upcoming(80 << 10, 81 << 10); // region 1 barely touched
+        let before = m.now;
+        tm.plan(&mut m);
+        assert!(tm.is_staged(0));
+        assert!(!tm.is_staged(1));
+        assert_eq!(tm.stats.staged_bytes, 64 << 10);
+        assert_eq!(m.dma.bytes_to_device, 64 << 10, "staging used the DMA engine");
+        assert!(m.now > before, "bulk copy advances the clock");
+        // Translation: offsets in region 0 map into device space.
+        let map = tm.region_map();
+        let dev = map.translate(4096).expect("staged");
+        assert!(dev < crate::alloc::HOST_BASE);
+        assert_eq!(map.translate(64 << 10), None, "region 1 stays zero-copy");
+    }
+
+    #[test]
+    fn sparse_traffic_accumulates_then_stages() {
+        let mut m = machine();
+        let mut tm = TransferManager::new(&m, 64 << 10, cfg(64 << 10, None));
+        // 0.41-dense iterations: decisions stay zero-copy until
+        // cumulative + upcoming density reaches the ski-rental point
+        // (1.5), i.e. on the fourth round (3 x 0.41 + 0.41 = 1.63).
+        for round in 0..4 {
+            tm.note_upcoming(0, 26 << 10);
+            tm.plan(&mut m);
+            let staged = tm.is_staged(0);
+            match round {
+                0..=2 => assert!(!staged, "round {round} must stay zero-copy"),
+                _ => assert!(staged, "cumulative reuse must trigger staging"),
+            }
+        }
+        assert_eq!(tm.stats.staging_rounds, 1);
+    }
+
+    #[test]
+    fn pool_exhaustion_falls_back_to_zero_copy() {
+        let mut m = machine();
+        // Pool holds exactly one region.
+        let mut tm = TransferManager::new(&m, 256 << 10, cfg(64 << 10, Some(64 << 10)));
+        tm.note_upcoming(0, 256 << 10); // all four regions fully dense
+        tm.plan(&mut m);
+        assert_eq!(tm.stats.staged_regions, 1);
+        assert_eq!(tm.stats.pool_fallbacks, 3);
+        assert_eq!(tm.pool_left(), 0);
+        assert!(tm.is_staged(0) && !tm.is_staged(1));
+        // The fallen-back regions keep accruing zero-copy history.
+        tm.note_upcoming(64 << 10, 128 << 10);
+        tm.plan(&mut m);
+        assert_eq!(tm.stats.pool_fallbacks, 4);
+    }
+
+    #[test]
+    fn partial_region_budgets_its_rounded_allocation() {
+        let mut m = machine();
+        // One 8000-byte (non-128-multiple) region; a pool of exactly
+        // 8000 bytes cannot hold its 8064-byte rounded allocation, so
+        // staging must fall back rather than underflow the budget.
+        let mut tm = TransferManager::new(&m, 8_000, cfg(64 << 10, Some(8_000)));
+        tm.note_upcoming(0, 8_000);
+        assert!(!tm.plan(&mut m));
+        assert!(!tm.is_staged(0));
+        assert_eq!(tm.stats.pool_fallbacks, 1);
+        assert_eq!(tm.pool_left(), 8_000);
+        // With the rounded size available the region stages fine.
+        let mut tm = TransferManager::new(&m, 8_000, cfg(64 << 10, Some(8_064)));
+        tm.note_upcoming(0, 8_000);
+        assert!(tm.plan(&mut m));
+        assert!(tm.is_staged(0));
+        assert_eq!(tm.pool_left(), 0);
+    }
+
+    #[test]
+    fn pool_is_capped_by_free_device_memory() {
+        let mut m = machine();
+        let free = m.spaces.device_free();
+        m.alloc_device(free - (64 << 10));
+        let tm = TransferManager::new(&m, 1 << 20, cfg(64 << 10, None));
+        assert_eq!(tm.pool_left(), 64 << 10);
+    }
+
+    #[test]
+    fn staged_region_is_not_replanned() {
+        let mut m = machine();
+        let mut tm = TransferManager::new(&m, 64 << 10, cfg(64 << 10, None));
+        tm.note_upcoming(0, 64 << 10);
+        tm.plan(&mut m);
+        assert_eq!(tm.stats.staged_regions, 1);
+        let copied = m.dma.bytes_to_device;
+        tm.note_upcoming(0, 64 << 10);
+        tm.plan(&mut m);
+        assert_eq!(tm.stats.staged_regions, 1, "no double staging");
+        assert_eq!(m.dma.bytes_to_device, copied, "no repeat copy");
+    }
+
+    #[test]
+    fn overlapping_notes_saturate_at_region_size() {
+        let m = machine();
+        let mut tm = TransferManager::new(&m, 64 << 10, cfg(64 << 10, None));
+        for _ in 0..8 {
+            tm.note_upcoming(0, 32 << 10);
+        }
+        assert_eq!(tm.upcoming[0], 64 << 10, "clamped to the region size");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_region_rejected() {
+        let m = machine();
+        let _ = TransferManager::new(&m, 1 << 20, cfg(48 << 10, None));
+    }
+}

@@ -21,6 +21,8 @@
 
 pub mod driver;
 pub mod policy;
+pub mod transfer;
 
 pub use driver::{BatchResult, PageId, PageState, UvmDriver, UvmStats};
 pub use policy::UvmConfig;
+pub use transfer::{TransferDecision, TransferPolicy, TransferPolicyConfig};

@@ -56,6 +56,32 @@ fn ablations_run_and_report() {
 }
 
 #[test]
+fn hybrid_experiment_produces_table_and_hybrid_wins_reuse() {
+    let tables = experiments::run("hybrid", &ctx());
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(t.id, "hybrid");
+    // 3 scenarios x 4 engines.
+    assert_eq!(t.rows.len(), 12);
+    for row in &t.rows {
+        assert_eq!(row.len(), t.headers.len());
+    }
+    // Assert on the raw measurements, not the table's rounded cells: a
+    // strict win over pure zero-copy on both reuse scenarios, and on
+    // the sparse one-shot case never worse than the better of zero-copy
+    // and Subway. (UVM may win tiny reuse scenarios where its page pool
+    // holds the whole scaled edge list; that is the caching baseline
+    // working, not a hybrid regression.)
+    let r = experiments::hybrid::measure(&ctx());
+    let ns = |scenario: &str, engine: &str| r.get(scenario, engine).total_ns;
+    assert!(ns("reuse-cc", "Hybrid") < ns("reuse-cc", "Merged+Aligned"));
+    assert!(ns("reuse-multi-bfs", "Hybrid") < ns("reuse-multi-bfs", "Merged+Aligned"));
+    let sparse = ns("sparse-bfs", "Hybrid");
+    assert!(sparse <= ns("sparse-bfs", "Merged+Aligned"));
+    assert!(sparse <= ns("sparse-bfs", "Subway-async"));
+}
+
+#[test]
 #[should_panic(expected = "unknown experiment id")]
 fn unknown_id_is_rejected() {
     let _ = experiments::run("fig99", &ctx());
