@@ -14,8 +14,8 @@
 //! systems report results (EMOGI's §5.6 measurement includes only kernel
 //! and data-movement time for HALO).
 
-use emogi_core::traversal::BfsRun;
-use emogi_core::{TraversalConfig, TraversalSystem};
+use emogi_core::bfs::BfsOutput;
+use emogi_core::{BfsRun, Engine, EngineConfig};
 use emogi_graph::{algo, CsrGraph, VertexId, UNVISITED};
 
 /// Compute the HALO-style permutation: `perm[old] = new`.
@@ -56,13 +56,13 @@ pub struct HaloSystem {
     reordered: CsrGraph,
     perm: Vec<VertexId>,
     weights: Option<Vec<u32>>,
-    cfg: TraversalConfig,
+    cfg: EngineConfig,
 }
 
 impl HaloSystem {
     /// Reorder `graph` (preprocessing) and prepare a UVM traversal
     /// configuration on the given machine.
-    pub fn new(cfg: TraversalConfig, graph: &CsrGraph, weights: Option<&[u32]>) -> Self {
+    pub fn new(cfg: EngineConfig, graph: &CsrGraph, weights: Option<&[u32]>) -> Self {
         let perm = locality_reorder(graph);
         let reordered = graph.relabel(&perm);
         // Weights follow their edges: rebuild per reordered edge. The
@@ -100,20 +100,21 @@ impl HaloSystem {
         &self.reordered
     }
 
+    /// The weight array in reordered edge space (when built with one).
+    pub fn reordered_weights(&self) -> Option<&[u32]> {
+        self.weights.as_deref()
+    }
+
     /// Run BFS from `src` (an *original* vertex id); levels come back in
     /// original id space.
     pub fn bfs(&self, src: VertexId) -> BfsRun {
-        let mut sys = TraversalSystem::new(
-            self.cfg.clone(),
-            &self.reordered,
-            self.weights.as_deref(),
-        );
-        let run = sys.bfs(self.perm[src as usize]);
+        let mut engine = Engine::load(self.cfg.clone(), &self.reordered);
+        let run = engine.bfs(self.perm[src as usize]);
         let levels = (0..self.perm.len())
             .map(|v| run.levels[self.perm[v] as usize])
             .collect();
         BfsRun {
-            levels,
+            output: BfsOutput { levels },
             stats: run.stats,
         }
     }
@@ -130,8 +131,8 @@ mod tests {
     use emogi_core::EdgePlacement;
     use emogi_graph::generators;
 
-    fn uvm_cfg() -> TraversalConfig {
-        TraversalConfig::uvm_v100()
+    fn uvm_cfg() -> EngineConfig {
+        EngineConfig::uvm_v100()
     }
 
     #[test]
@@ -184,7 +185,12 @@ mod tests {
         };
         let halo = HaloSystem::new(uvm_cfg(), &g, None);
         let perm = locality_reorder(&g);
-        let max_level = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap();
+        let max_level = levels
+            .iter()
+            .filter(|&&l| l != u32::MAX)
+            .max()
+            .copied()
+            .unwrap();
         let (mut before, mut after) = (0usize, 0usize);
         for lvl in 1..=max_level {
             let members: Vec<u32> = (0..g.num_vertices() as u32)
@@ -204,11 +210,11 @@ mod tests {
     fn weights_follow_their_edges() {
         let g = generators::uniform_random(200, 4, 11);
         let w = emogi_graph::datasets::generate_weights(g.num_edges(), 11);
-        let cfg = TraversalConfig::uvm_v100();
+        let cfg = EngineConfig::uvm_v100();
         let halo = HaloSystem::new(cfg, &g, Some(&w));
         let perm = locality_reorder(&g);
         let rg = halo.reordered_graph();
-        let rw = halo.weights.as_ref().unwrap();
+        let rw = halo.reordered_weights().unwrap();
         // Edge (v, d) with weight x must appear as (perm[v], perm[d], x).
         for v in 0..200u32 {
             let start = g.neighbor_start(v) as usize;

@@ -18,8 +18,11 @@
 //! edge elements and cannot run graphs with more than 2³² edges (§5.6);
 //! the paper therefore re-evaluates EMOGI at 4 bytes when comparing.
 
+use emogi_core::bfs::BfsOutput;
+use emogi_core::cc::CcOutput;
+use emogi_core::sssp::SsspOutput;
 use emogi_core::sssp::INF;
-use emogi_core::traversal::{BfsRun, CcRun, SsspRun};
+use emogi_core::{BfsRun, CcRun, SsspRun};
 use emogi_graph::{CsrGraph, VertexId, UNVISITED};
 use emogi_runtime::machine::MachineConfig;
 use emogi_runtime::Machine;
@@ -109,8 +112,7 @@ impl<'g> SubwaySystem<'g> {
 
     /// Charge one iteration's subgraph generation; returns its duration.
     fn generation_time(&mut self, active: &[VertexId], bytes: u64) -> Time {
-        let scan =
-            (self.graph.num_vertices() as f64 * self.costs.scan_ns_per_vertex) as Time;
+        let scan = (self.graph.num_vertices() as f64 * self.costs.scan_ns_per_vertex) as Time;
         let gather = (active.len() as f64 * self.costs.gather_ns_per_vertex) as Time;
         // The generator gathers the active lists out of host DRAM into
         // the packed buffer; the scattered copy, not DRAM peak bandwidth,
@@ -167,7 +169,7 @@ impl<'g> SubwaySystem<'g> {
             frontier = next;
         }
         BfsRun {
-            levels,
+            output: BfsOutput { levels },
             stats: self.machine.finish_run(&snap, launches),
         }
     }
@@ -201,7 +203,7 @@ impl<'g> SubwaySystem<'g> {
             frontier = next;
         }
         SsspRun {
-            dist,
+            output: SsspOutput { dist },
             stats: self.machine.finish_run(&snap, launches),
         }
     }
@@ -235,9 +237,11 @@ impl<'g> SubwaySystem<'g> {
             }
         }
         CcRun {
-            comp,
+            output: CcOutput {
+                comp,
+                hook_passes: passes,
+            },
             stats: self.machine.finish_run(&snap, launches),
-            hook_passes: passes,
         }
     }
 }

@@ -12,10 +12,7 @@ use emogi_sim::pcie::{PcieConfig, PcieLink, ReadOutcome};
 
 fn bench_coalescer(c: &mut Criterion) {
     let mut g = c.benchmark_group("coalescer");
-    for (name, mk) in [
-        ("merged_aligned", false),
-        ("strided", true),
-    ] {
+    for (name, mk) in [("merged_aligned", false), ("strided", true)] {
         let mut batch = AccessBatch::new();
         for lane in 0..32u64 {
             if mk {

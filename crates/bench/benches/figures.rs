@@ -51,20 +51,26 @@ fn bench_apps_and_prior(c: &mut Criterion) {
 }
 
 fn bench_engines_single_bfs(c: &mut Criterion) {
-    use emogi_core::{AccessStrategy, TraversalConfig, TraversalSystem};
+    use emogi_core::{AccessStrategy, Engine, EngineConfig};
     let g_data = emogi_graph::DatasetKey::Gu.spec().generate_scaled(16);
     let mut g = c.benchmark_group("engine_bfs");
     g.sample_size(10);
     for (name, cfg) in [
-        ("uvm", TraversalConfig::uvm_v100()),
-        ("naive", TraversalConfig::emogi_v100().with_strategy(AccessStrategy::Naive)),
-        ("merged", TraversalConfig::emogi_v100().with_strategy(AccessStrategy::Merged)),
-        ("merged_aligned", TraversalConfig::emogi_v100()),
+        ("uvm", EngineConfig::uvm_v100()),
+        (
+            "naive",
+            EngineConfig::emogi_v100().with_strategy(AccessStrategy::Naive),
+        ),
+        (
+            "merged",
+            EngineConfig::emogi_v100().with_strategy(AccessStrategy::Merged),
+        ),
+        ("merged_aligned", EngineConfig::emogi_v100()),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let mut sys = TraversalSystem::new(cfg.clone(), &g_data.graph, None);
-                sys.bfs(0).stats.elapsed_ns
+                let mut engine = Engine::load(cfg.clone(), &g_data.graph);
+                engine.bfs(0).stats.elapsed_ns
             });
         });
     }

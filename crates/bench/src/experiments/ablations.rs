@@ -7,7 +7,7 @@
 use crate::table::{f, ms};
 use crate::{Context, Table};
 use emogi_core::toy::{self, ToyPattern};
-use emogi_core::{AccessStrategy, TraversalConfig, TraversalSystem};
+use emogi_core::{AccessStrategy, Engine, EngineConfig};
 use emogi_graph::DatasetKey;
 use emogi_runtime::MachineConfig;
 
@@ -30,12 +30,19 @@ pub fn compression(ctx: &Context) -> Table {
     let mut t = Table::new(
         "abl-compress",
         "Extension (paper §6): compressed neighbour lists (BFS)",
-        &["graph", "ratio", "raw MB moved", "comp MB moved", "raw ms", "comp ms"],
+        &[
+            "graph",
+            "ratio",
+            "raw MB moved",
+            "comp MB moved",
+            "raw ms",
+            "comp ms",
+        ],
     );
     for key in [DatasetKey::Sk, DatasetKey::Uk5, DatasetKey::Fs] {
         let d = ctx.store.get(key);
         let src = d.sources(1)[0];
-        let mut raw = TraversalSystem::new(TraversalConfig::emogi_v100(), &d.graph, None);
+        let mut raw = Engine::load(EngineConfig::emogi_v100(), &d.graph);
         let raw_run = raw.bfs(src);
         let c = CompressedCsr::encode(&d.graph);
         let mut comp = CompressedBfs::new(MachineConfig::v100_gen3(), &c);
@@ -66,10 +73,10 @@ pub fn mshr_sweep(ctx: &Context) -> Table {
     let src = d.sources(1)[0];
     for limit in [2u32, 4, 8, 16] {
         let run = |strategy| {
-            let mut cfg = TraversalConfig::emogi_v100().with_strategy(strategy);
+            let mut cfg = EngineConfig::emogi_v100().with_strategy(strategy);
             cfg.machine.gpu.max_pending_per_warp = limit;
-            let mut sys = TraversalSystem::new(cfg, &d.graph, None);
-            sys.bfs(src).stats.elapsed_ns
+            let mut engine = Engine::load(cfg, &d.graph);
+            engine.bfs(src).stats.elapsed_ns
         };
         t.row(vec![
             limit.to_string(),
@@ -91,11 +98,11 @@ pub fn cache_sweep(ctx: &Context) -> Table {
     let d = ctx.store.get(DatasetKey::Gk);
     let src = d.sources(1)[0];
     for mib in [1u64, 3, 6, 24] {
-        let mut cfg = TraversalConfig::emogi_v100().with_strategy(AccessStrategy::Naive);
+        let mut cfg = EngineConfig::emogi_v100().with_strategy(AccessStrategy::Naive);
         cfg.machine.gpu.cache.capacity_bytes = mib << 20;
-        let mut sys = TraversalSystem::new(cfg, &d.graph, None);
-        let dataset = sys.dataset_bytes();
-        let run = sys.bfs(src);
+        let mut engine = Engine::load(cfg, &d.graph);
+        let dataset = engine.dataset_bytes();
+        let run = engine.bfs(src);
         t.row(vec![
             mib.to_string(),
             ms(run.stats.elapsed_ns),
@@ -154,7 +161,10 @@ mod tests {
         let t = tag_sweep(&ctx);
         let strided: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
         let aligned: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
-        assert!(strided[3] > 1.8 * strided[0], "strided scales with tags: {strided:?}");
+        assert!(
+            strided[3] > 1.8 * strided[0],
+            "strided scales with tags: {strided:?}"
+        );
         let rel = (aligned[3] - aligned[1]).abs() / aligned[1];
         assert!(rel < 0.25, "aligned mostly insensitive: {aligned:?}");
     }

@@ -1,9 +1,9 @@
 //! Figures 11 and 12: beyond BFS (SSSP, CC) and PCIe 4.0 scaling.
 
-use super::matrix::{BfsMatrix, Engine};
+use super::matrix::{BfsMatrix, EngineKind};
 use crate::table::f;
 use crate::{Context, Table};
-use emogi_core::{TraversalConfig, TraversalSystem};
+use emogi_core::{Engine, EngineConfig};
 use emogi_graph::{Dataset, DatasetKey};
 use emogi_runtime::MachineConfig;
 
@@ -33,19 +33,19 @@ impl App {
     }
 }
 
-/// Average elapsed ns of `app` on `d` under `cfg` over `n` sources.
-pub fn run_app(cfg: TraversalConfig, d: &Dataset, app: App, n: usize) -> f64 {
-    let weights = matches!(app, App::Sssp).then_some(d.weights.as_slice());
-    let mut sys = TraversalSystem::new(cfg, &d.graph, weights);
+/// Average elapsed ns of `app` on `d` under `cfg` over `n` sources. The
+/// graph is placed once; every source reuses the placement.
+pub fn run_app(cfg: EngineConfig, d: &Dataset, app: App, n: usize) -> f64 {
+    let mut engine = Engine::load(cfg, &d.graph);
     match app {
-        App::Cc => sys.cc().stats.elapsed_ns as f64,
+        App::Cc => engine.cc().stats.elapsed_ns as f64,
         App::Bfs | App::Sssp => {
             let sources = d.sources(n);
             let total: u64 = sources
                 .iter()
                 .map(|&s| match app {
-                    App::Bfs => sys.bfs(s).stats.elapsed_ns,
-                    _ => sys.sssp(s).stats.elapsed_ns,
+                    App::Bfs => engine.bfs(s).stats.elapsed_ns,
+                    _ => engine.sssp(&d.weights, s).stats.elapsed_ns,
                 })
                 .sum();
             total as f64 / sources.len() as f64
@@ -72,14 +72,14 @@ pub fn fig11_with_bfs(ctx: &Context, bfs: Option<&BfsMatrix>) -> Table {
             let d = ctx.store.get(g);
             let (uvm_ns, emogi_ns) = match (app, bfs) {
                 (App::Bfs, Some(m)) => (
-                    m.get(g, Engine::Uvm).avg_ns,
-                    m.get(g, Engine::MergedAligned).avg_ns,
+                    m.get(g, EngineKind::Uvm).avg_ns,
+                    m.get(g, EngineKind::MergedAligned).avg_ns,
                 ),
                 _ => {
                     eprintln!("  [fig11] {} / {} ...", app.name(), d.spec.symbol);
                     (
-                        run_app(TraversalConfig::uvm_v100(), &d, app, ctx.sources),
-                        run_app(TraversalConfig::emogi_v100(), &d, app, ctx.sources),
+                        run_app(EngineConfig::uvm_v100(), &d, app, ctx.sources),
+                        run_app(EngineConfig::emogi_v100(), &d, app, ctx.sources),
                     )
                 }
             };
@@ -118,7 +118,14 @@ pub fn fig12_inner(ctx: &Context) -> (Table, f64, f64) {
     let mut t = Table::new(
         "fig12",
         "PCIe 3.0 vs 4.0 scaling on A100 (normalized to UVM+3.0)",
-        &["app", "graph", "UVM 3.0", "EMOGI 3.0", "UVM 4.0", "EMOGI 4.0"],
+        &[
+            "app",
+            "graph",
+            "UVM 3.0",
+            "EMOGI 3.0",
+            "UVM 4.0",
+            "EMOGI 4.0",
+        ],
     );
     let mut uvm_scale = 0.0;
     let mut emogi_scale = 0.0;
@@ -129,9 +136,9 @@ pub fn fig12_inner(ctx: &Context) -> (Table, f64, f64) {
             eprintln!("  [fig12] {} / {} ...", app.name(), d.spec.symbol);
             let run = |machine: MachineConfig, uvm: bool| {
                 let cfg = if uvm {
-                    TraversalConfig::uvm_v100().with_machine(machine)
+                    EngineConfig::uvm_v100().with_machine(machine)
                 } else {
-                    TraversalConfig::emogi_v100().with_machine(machine)
+                    EngineConfig::emogi_v100().with_machine(machine)
                 };
                 run_app(cfg, &d, app, ctx.sources)
             };

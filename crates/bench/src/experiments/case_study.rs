@@ -1,7 +1,7 @@
 //! Figures 5, 7, 8, 9, 10 — the §5.3 BFS case study, all derived from the
 //! shared [`BfsMatrix`].
 
-use super::matrix::{BfsMatrix, Engine};
+use super::matrix::{BfsMatrix, EngineKind};
 use crate::table::{f, ms, pct};
 use crate::{Context, Table};
 use emogi_core::toy;
@@ -16,7 +16,7 @@ pub fn fig5(m: &BfsMatrix) -> Table {
         &["graph", "impl", "32B", "64B", "96B", "128B"],
     );
     for g in DatasetKey::all() {
-        for e in Engine::zero_copy() {
+        for e in EngineKind::zero_copy() {
             let h = &m.get(g, e).sizes;
             t.row(vec![
                 g.spec().symbol.into(),
@@ -37,12 +37,19 @@ pub fn fig7(m: &BfsMatrix) -> Table {
     let mut t = Table::new(
         "fig7",
         "Total PCIe read requests in BFS (all sources)",
-        &["graph", "Naive", "Merged", "Merged+Aligned", "merge cut", "align cut"],
+        &[
+            "graph",
+            "Naive",
+            "Merged",
+            "Merged+Aligned",
+            "merge cut",
+            "align cut",
+        ],
     );
     for g in DatasetKey::all() {
-        let n = m.get(g, Engine::Naive).requests;
-        let mg = m.get(g, Engine::Merged).requests;
-        let al = m.get(g, Engine::MergedAligned).requests;
+        let n = m.get(g, EngineKind::Naive).requests;
+        let mg = m.get(g, EngineKind::Merged).requests;
+        let al = m.get(g, EngineKind::MergedAligned).requests;
         t.row(vec![
             g.spec().symbol.into(),
             n.to_string(),
@@ -66,17 +73,17 @@ pub fn fig8(ctx: &Context, m: &BfsMatrix) -> Table {
     for g in DatasetKey::all() {
         t.row(vec![
             g.spec().symbol.into(),
-            f(m.get(g, Engine::Uvm).avg_pcie_gbps),
-            f(m.get(g, Engine::Naive).avg_pcie_gbps),
-            f(m.get(g, Engine::Merged).avg_pcie_gbps),
-            f(m.get(g, Engine::MergedAligned).avg_pcie_gbps),
+            f(m.get(g, EngineKind::Uvm).avg_pcie_gbps),
+            f(m.get(g, EngineKind::Naive).avg_pcie_gbps),
+            f(m.get(g, EngineKind::Merged).avg_pcie_gbps),
+            f(m.get(g, EngineKind::MergedAligned).avg_pcie_gbps),
         ]);
     }
-    let peak = toy::run_memcpy_reference(
-        MachineConfig::v100_gen3(),
-        (64 << 20) / ctx.scale as u64,
-    );
-    t.note(format!("cudaMemcpy peak on this link: {} GB/s (paper: 12.3)", f(peak)));
+    let peak = toy::run_memcpy_reference(MachineConfig::v100_gen3(), (64 << 20) / ctx.scale as u64);
+    t.note(format!(
+        "cudaMemcpy peak on this link: {} GB/s (paper: 12.3)",
+        f(peak)
+    ));
     t.note("paper: UVM ~9, Naive up to 4.7, Merged ~11, +Aligned adds 0.5-1 GB/s; averages at 1/1000 scale sit lower because short kernel launches leave latency-bound phases unamortized");
     t
 }
@@ -86,11 +93,18 @@ pub fn fig9(m: &BfsMatrix) -> Table {
     let mut t = Table::new(
         "fig9",
         "BFS speedup over UVM baseline",
-        &["graph", "Naive", "Merged", "Merged+Aligned", "time UVM (ms)", "time M+A (ms)"],
+        &[
+            "graph",
+            "Naive",
+            "Merged",
+            "Merged+Aligned",
+            "time UVM (ms)",
+            "time M+A (ms)",
+        ],
     );
     let mut avg = [0.0f64; 3];
     for g in DatasetKey::all() {
-        let s: Vec<f64> = Engine::zero_copy()
+        let s: Vec<f64> = EngineKind::zero_copy()
             .iter()
             .map(|&e| m.speedup_vs_uvm(g, e))
             .collect();
@@ -102,8 +116,8 @@ pub fn fig9(m: &BfsMatrix) -> Table {
             f(s[0]),
             f(s[1]),
             f(s[2]),
-            ms(m.get(g, Engine::Uvm).avg_ns as u64),
-            ms(m.get(g, Engine::MergedAligned).avg_ns as u64),
+            ms(m.get(g, EngineKind::Uvm).avg_ns as u64),
+            ms(m.get(g, EngineKind::MergedAligned).avg_ns as u64),
         ]);
     }
     let n = DatasetKey::all().len() as f64;
@@ -129,8 +143,8 @@ pub fn fig10(m: &BfsMatrix) -> Table {
     for g in DatasetKey::all() {
         t.row(vec![
             g.spec().symbol.into(),
-            f(m.get(g, Engine::Uvm).avg_amplification),
-            f(m.get(g, Engine::MergedAligned).avg_amplification),
+            f(m.get(g, EngineKind::Uvm).avg_amplification),
+            f(m.get(g, EngineKind::MergedAligned).avg_amplification),
         ]);
     }
     t.note("paper: UVM up to 5.16x (FS), 2.28x on ML, 1.14x on SK (almost fits); EMOGI never exceeds 1.31x. Scaled graphs have shallower BFS trees, so UVM re-migration (and thus its amplification) is milder here — the UVM baseline is, if anything, flattered");
@@ -157,7 +171,7 @@ mod tests {
         let ctx = Context::new(1, 32);
         let m = BfsMatrix::compute(&ctx);
         for g in DatasetKey::all() {
-            let amp = m.get(g, Engine::MergedAligned).avg_amplification;
+            let amp = m.get(g, EngineKind::MergedAligned).avg_amplification;
             assert!(amp < 2.0, "{g:?} amplification {amp}");
         }
     }

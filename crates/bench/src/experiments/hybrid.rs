@@ -8,8 +8,9 @@
 //!   edge list every pass: dense *and* recurring, the best case for bulk
 //!   staging;
 //! * **reuse-multi-bfs** (GK, the skewed graph) — several BFS traversals
-//!   share one machine, the analytics-service pattern: regions recur
-//!   across traversals and cross the policy's ski-rental point;
+//!   share one engine, the analytics-service pattern the place-once,
+//!   query-many API exists for: regions recur across traversals and
+//!   cross the policy's ski-rental point;
 //! * **sparse-bfs** (GU, the uniform graph) — a single sparse traversal:
 //!   no region recurs, so hybrid must degenerate to pure zero-copy and
 //!   tie it exactly.
@@ -20,12 +21,13 @@
 //! so the edge-list : cache : device-memory ratios that drive the
 //! trade-off survive reduced-scale runs.
 
+use super::scaled_machine;
 use crate::table::{f, ms};
 use crate::{Context, Table};
 use emogi_baselines::{SubwayMode, SubwaySystem};
-use emogi_core::{AccessMode, TraversalConfig, TraversalSystem};
+use emogi_core::{AccessMode, Engine, EngineConfig};
 use emogi_graph::DatasetKey;
-use emogi_runtime::MachineConfig;
+use emogi_runtime::TransferStats;
 
 /// Sources per reuse-multi-bfs cell (the scenario is about cross-
 /// traversal reuse, so it is fixed rather than taken from the context).
@@ -38,9 +40,10 @@ pub struct Measurement {
     pub graph: &'static str,
     pub engine: &'static str,
     pub total_ns: u64,
-    /// Transfer-manager counters; zero for non-hybrid engines.
-    pub staged_regions: u64,
-    pub pool_fallbacks: u64,
+    /// Transfer counters accumulated over the scenario's runs (each run
+    /// carries its own diff in `RunStats::transfer`); zero for
+    /// non-hybrid engines.
+    pub transfer: TransferStats,
 }
 
 /// All measurements of one experiment run.
@@ -58,45 +61,39 @@ impl HybridResults {
     }
 }
 
-/// V100 machine with cache and device memory scaled down with the
-/// datasets, preserving the out-of-cache / out-of-memory ratios.
-fn scaled_machine(scale: usize) -> MachineConfig {
-    let mut m = MachineConfig::v100_gen3();
-    let s = scale.max(1) as u64;
-    m.gpu.cache.capacity_bytes = (m.gpu.cache.capacity_bytes / s).max(32 << 10);
-    m.gpu.mem_bytes = (m.gpu.mem_bytes / s).max(256 << 10);
-    m
-}
-
 /// EMOGI-family engines of this experiment (Subway is driven separately).
 const MODES: &[(&str, AccessMode)] = &[
     ("Hybrid", AccessMode::Hybrid),
     ("Merged+Aligned", AccessMode::MergedAligned),
 ];
 
-fn emogi_cfg(ctx: &Context, mode: AccessMode) -> TraversalConfig {
-    TraversalConfig::emogi_v100()
+fn emogi_cfg(ctx: &Context, mode: AccessMode) -> EngineConfig {
+    EngineConfig::emogi_v100()
         .with_mode(mode)
         .with_machine(scaled_machine(ctx.scale))
         .with_elem_bytes(4)
 }
 
-fn uvm_cfg(ctx: &Context) -> TraversalConfig {
-    TraversalConfig::uvm_v100()
+fn uvm_cfg(ctx: &Context) -> EngineConfig {
+    EngineConfig::uvm_v100()
         .with_machine(scaled_machine(ctx.scale))
         .with_elem_bytes(4)
 }
 
-fn push(rows: &mut Vec<Measurement>, scenario: &'static str, graph: &'static str,
-        engine: &'static str, total_ns: u64, sys: Option<&TraversalSystem>) {
-    let stats = sys.and_then(|s| s.transfer_stats());
+fn push(
+    rows: &mut Vec<Measurement>,
+    scenario: &'static str,
+    graph: &'static str,
+    engine: &'static str,
+    total_ns: u64,
+    transfer: TransferStats,
+) {
     rows.push(Measurement {
         scenario,
         graph,
         engine,
         total_ns,
-        staged_regions: stats.map_or(0, |s| s.staged_regions),
-        pool_fallbacks: stats.map_or(0, |s| s.pool_fallbacks),
+        transfer,
     });
 }
 
@@ -108,43 +105,98 @@ pub fn measure(ctx: &Context) -> HybridResults {
     let ml = ctx.store.get(DatasetKey::Ml);
     eprintln!("  [hybrid] reuse-cc ML ...");
     for &(name, mode) in MODES {
-        let mut sys = TraversalSystem::new(emogi_cfg(ctx, mode), &ml.graph, None);
-        let ns = sys.cc().stats.elapsed_ns;
-        push(&mut rows, "reuse-cc", "ML", name, ns, Some(&sys));
+        let mut engine = Engine::load(emogi_cfg(ctx, mode), &ml.graph);
+        let run = engine.cc();
+        push(
+            &mut rows,
+            "reuse-cc",
+            "ML",
+            name,
+            run.stats.elapsed_ns,
+            run.stats.transfer,
+        );
     }
     {
-        let mut sys = TraversalSystem::new(uvm_cfg(ctx), &ml.graph, None);
-        let ns = sys.cc().stats.elapsed_ns;
-        push(&mut rows, "reuse-cc", "ML", "UVM", ns, None);
+        let mut engine = Engine::load(uvm_cfg(ctx), &ml.graph);
+        let ns = engine.cc().stats.elapsed_ns;
+        push(
+            &mut rows,
+            "reuse-cc",
+            "ML",
+            "UVM",
+            ns,
+            TransferStats::default(),
+        );
     }
     {
         // ML is one of the undirected Table 2 graphs (SubwaySystem::cc
         // asserts this itself).
-        let mut sub =
-            SubwaySystem::new(scaled_machine(ctx.scale), &ml.graph, None, SubwayMode::Async);
+        let mut sub = SubwaySystem::new(
+            scaled_machine(ctx.scale),
+            &ml.graph,
+            None,
+            SubwayMode::Async,
+        );
         let ns = sub.cc().stats.elapsed_ns;
-        push(&mut rows, "reuse-cc", "ML", "Subway-async", ns, None);
+        push(
+            &mut rows,
+            "reuse-cc",
+            "ML",
+            "Subway-async",
+            ns,
+            TransferStats::default(),
+        );
     }
 
     // --- reuse-multi-bfs on GK -------------------------------------------
     let gk = ctx.store.get(DatasetKey::Gk);
     let sources = gk.sources(MULTI_BFS_SOURCES);
-    eprintln!("  [hybrid] reuse-multi-bfs GK ({} sources) ...", sources.len());
+    eprintln!(
+        "  [hybrid] reuse-multi-bfs GK ({} sources) ...",
+        sources.len()
+    );
     for &(name, mode) in MODES {
-        let mut sys = TraversalSystem::new(emogi_cfg(ctx, mode), &gk.graph, None);
-        let ns: u64 = sources.iter().map(|&s| sys.bfs(s).stats.elapsed_ns).sum();
-        push(&mut rows, "reuse-multi-bfs", "GK", name, ns, Some(&sys));
+        let mut engine = Engine::load(emogi_cfg(ctx, mode), &gk.graph);
+        let mut ns = 0u64;
+        let mut transfer = TransferStats::default();
+        for &s in &sources {
+            let run = engine.bfs(s);
+            ns += run.stats.elapsed_ns;
+            transfer += run.stats.transfer;
+        }
+        push(&mut rows, "reuse-multi-bfs", "GK", name, ns, transfer);
     }
     {
-        let mut sys = TraversalSystem::new(uvm_cfg(ctx), &gk.graph, None);
-        let ns: u64 = sources.iter().map(|&s| sys.bfs(s).stats.elapsed_ns).sum();
-        push(&mut rows, "reuse-multi-bfs", "GK", "UVM", ns, None);
+        let mut engine = Engine::load(uvm_cfg(ctx), &gk.graph);
+        let ns: u64 = sources
+            .iter()
+            .map(|&s| engine.bfs(s).stats.elapsed_ns)
+            .sum();
+        push(
+            &mut rows,
+            "reuse-multi-bfs",
+            "GK",
+            "UVM",
+            ns,
+            TransferStats::default(),
+        );
     }
     {
-        let mut sub =
-            SubwaySystem::new(scaled_machine(ctx.scale), &gk.graph, None, SubwayMode::Async);
+        let mut sub = SubwaySystem::new(
+            scaled_machine(ctx.scale),
+            &gk.graph,
+            None,
+            SubwayMode::Async,
+        );
         let ns: u64 = sources.iter().map(|&s| sub.bfs(s).stats.elapsed_ns).sum();
-        push(&mut rows, "reuse-multi-bfs", "GK", "Subway-async", ns, None);
+        push(
+            &mut rows,
+            "reuse-multi-bfs",
+            "GK",
+            "Subway-async",
+            ns,
+            TransferStats::default(),
+        );
     }
 
     // --- sparse-bfs on GU -------------------------------------------------
@@ -152,20 +204,45 @@ pub fn measure(ctx: &Context) -> HybridResults {
     let src = gu.sources(1)[0];
     eprintln!("  [hybrid] sparse-bfs GU ...");
     for &(name, mode) in MODES {
-        let mut sys = TraversalSystem::new(emogi_cfg(ctx, mode), &gu.graph, None);
-        let ns = sys.bfs(src).stats.elapsed_ns;
-        push(&mut rows, "sparse-bfs", "GU", name, ns, Some(&sys));
+        let mut engine = Engine::load(emogi_cfg(ctx, mode), &gu.graph);
+        let run = engine.bfs(src);
+        push(
+            &mut rows,
+            "sparse-bfs",
+            "GU",
+            name,
+            run.stats.elapsed_ns,
+            run.stats.transfer,
+        );
     }
     {
-        let mut sys = TraversalSystem::new(uvm_cfg(ctx), &gu.graph, None);
-        let ns = sys.bfs(src).stats.elapsed_ns;
-        push(&mut rows, "sparse-bfs", "GU", "UVM", ns, None);
+        let mut engine = Engine::load(uvm_cfg(ctx), &gu.graph);
+        let ns = engine.bfs(src).stats.elapsed_ns;
+        push(
+            &mut rows,
+            "sparse-bfs",
+            "GU",
+            "UVM",
+            ns,
+            TransferStats::default(),
+        );
     }
     {
-        let mut sub =
-            SubwaySystem::new(scaled_machine(ctx.scale), &gu.graph, None, SubwayMode::Async);
+        let mut sub = SubwaySystem::new(
+            scaled_machine(ctx.scale),
+            &gu.graph,
+            None,
+            SubwayMode::Async,
+        );
         let ns = sub.bfs(src).stats.elapsed_ns;
-        push(&mut rows, "sparse-bfs", "GU", "Subway-async", ns, None);
+        push(
+            &mut rows,
+            "sparse-bfs",
+            "GU",
+            "Subway-async",
+            ns,
+            TransferStats::default(),
+        );
     }
 
     HybridResults { rows }
@@ -177,7 +254,15 @@ pub fn hybrid(ctx: &Context) -> Table {
     let mut t = Table::new(
         "hybrid",
         "Hybrid zero-copy/DMA vs Merged+Aligned vs UVM vs Subway (4-byte elements)",
-        &["scenario", "graph", "engine", "time (ms)", "vs hybrid", "staged regions", "pool fallbacks"],
+        &[
+            "scenario",
+            "graph",
+            "engine",
+            "time (ms)",
+            "vs hybrid",
+            "staged regions",
+            "pool fallbacks",
+        ],
     );
     for m in &r.rows {
         let hybrid_ns = r.get(m.scenario, "Hybrid").total_ns;
@@ -187,8 +272,8 @@ pub fn hybrid(ctx: &Context) -> Table {
             m.engine.into(),
             ms(m.total_ns),
             f(m.total_ns as f64 / hybrid_ns as f64),
-            m.staged_regions.to_string(),
-            m.pool_fallbacks.to_string(),
+            m.transfer.staged_regions.to_string(),
+            m.transfer.pool_fallbacks.to_string(),
         ]);
     }
     t.note(
@@ -211,20 +296,29 @@ mod tests {
         // Dense + recurring: hybrid must beat pure zero-copy outright.
         let hy_cc = r.get("reuse-cc", "Hybrid").total_ns;
         let zc_cc = r.get("reuse-cc", "Merged+Aligned").total_ns;
-        assert!(hy_cc < zc_cc, "reuse-cc: hybrid {hy_cc} vs zero-copy {zc_cc}");
-        assert!(r.get("reuse-cc", "Hybrid").staged_regions > 0);
+        assert!(
+            hy_cc < zc_cc,
+            "reuse-cc: hybrid {hy_cc} vs zero-copy {zc_cc}"
+        );
+        assert!(r.get("reuse-cc", "Hybrid").transfer.staged_regions > 0);
 
         // Recurring across traversals: hybrid must beat zero-copy too.
         let hy_mb = r.get("reuse-multi-bfs", "Hybrid").total_ns;
         let zc_mb = r.get("reuse-multi-bfs", "Merged+Aligned").total_ns;
-        assert!(hy_mb < zc_mb, "multi-bfs: hybrid {hy_mb} vs zero-copy {zc_mb}");
+        assert!(
+            hy_mb < zc_mb,
+            "multi-bfs: hybrid {hy_mb} vs zero-copy {zc_mb}"
+        );
 
         // Sparse one-shot: no staging, and never worse than the better of
         // zero-copy and Subway.
         let hy_sp = r.get("sparse-bfs", "Hybrid");
         let zc_sp = r.get("sparse-bfs", "Merged+Aligned").total_ns;
         let sub_sp = r.get("sparse-bfs", "Subway-async").total_ns;
-        assert_eq!(hy_sp.staged_regions, 0, "sparse case must not stage");
+        assert_eq!(
+            hy_sp.transfer.staged_regions, 0,
+            "sparse case must not stage"
+        );
         assert!(
             hy_sp.total_ns <= zc_sp.min(sub_sp),
             "sparse: hybrid {} vs zero-copy {zc_sp} / subway {sub_sp}",

@@ -3,45 +3,54 @@
 //! Merged+Aligned), averaged over the context's source vertices.
 
 use crate::Context;
-use emogi_core::{AccessStrategy, TraversalConfig, TraversalSystem};
+use emogi_core::{AccessStrategy, Engine, EngineConfig};
 use emogi_graph::DatasetKey;
 use emogi_sim::monitor::SizeHistogram;
 use std::collections::HashMap;
 
 /// One engine column of the §5.3 study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Engine {
+pub enum EngineKind {
     Uvm,
     Naive,
     Merged,
     MergedAligned,
 }
 
-impl Engine {
-    pub fn all() -> [Engine; 4] {
-        [Engine::Uvm, Engine::Naive, Engine::Merged, Engine::MergedAligned]
+impl EngineKind {
+    pub fn all() -> [EngineKind; 4] {
+        [
+            EngineKind::Uvm,
+            EngineKind::Naive,
+            EngineKind::Merged,
+            EngineKind::MergedAligned,
+        ]
     }
 
     /// The three zero-copy implementations (Figure 5/7 columns).
-    pub fn zero_copy() -> [Engine; 3] {
-        [Engine::Naive, Engine::Merged, Engine::MergedAligned]
+    pub fn zero_copy() -> [EngineKind; 3] {
+        [
+            EngineKind::Naive,
+            EngineKind::Merged,
+            EngineKind::MergedAligned,
+        ]
     }
 
     pub fn name(self) -> &'static str {
         match self {
-            Engine::Uvm => "UVM",
-            Engine::Naive => "Naive",
-            Engine::Merged => "Merged",
-            Engine::MergedAligned => "Merged+Aligned",
+            EngineKind::Uvm => "UVM",
+            EngineKind::Naive => "Naive",
+            EngineKind::Merged => "Merged",
+            EngineKind::MergedAligned => "Merged+Aligned",
         }
     }
 
-    pub fn config(self) -> TraversalConfig {
+    pub fn config(self) -> EngineConfig {
         match self {
-            Engine::Uvm => TraversalConfig::uvm_v100(),
-            Engine::Naive => TraversalConfig::emogi_v100().with_strategy(AccessStrategy::Naive),
-            Engine::Merged => TraversalConfig::emogi_v100().with_strategy(AccessStrategy::Merged),
-            Engine::MergedAligned => TraversalConfig::emogi_v100(),
+            EngineKind::Uvm => EngineConfig::uvm_v100(),
+            EngineKind::Naive => EngineConfig::emogi_v100().with_strategy(AccessStrategy::Naive),
+            EngineKind::Merged => EngineConfig::emogi_v100().with_strategy(AccessStrategy::Merged),
+            EngineKind::MergedAligned => EngineConfig::emogi_v100(),
         }
     }
 }
@@ -60,18 +69,18 @@ pub struct Cell {
 /// The full matrix.
 #[derive(Debug)]
 pub struct BfsMatrix {
-    pub cells: HashMap<(DatasetKey, Engine), Cell>,
+    pub cells: HashMap<(DatasetKey, EngineKind), Cell>,
     pub sources: usize,
 }
 
 impl BfsMatrix {
-    pub fn get(&self, g: DatasetKey, e: Engine) -> &Cell {
+    pub fn get(&self, g: DatasetKey, e: EngineKind) -> &Cell {
         &self.cells[&(g, e)]
     }
 
     /// Speedup of `e` over the UVM baseline on `g` (Figure 9's metric).
-    pub fn speedup_vs_uvm(&self, g: DatasetKey, e: Engine) -> f64 {
-        self.get(g, Engine::Uvm).avg_ns / self.get(g, e).avg_ns
+    pub fn speedup_vs_uvm(&self, g: DatasetKey, e: EngineKind) -> f64 {
+        self.get(g, EngineKind::Uvm).avg_ns / self.get(g, e).avg_ns
     }
 
     pub fn compute(ctx: &Context) -> BfsMatrix {
@@ -79,13 +88,13 @@ impl BfsMatrix {
         for key in DatasetKey::all() {
             let d = ctx.store.get(key);
             let sources = d.sources(ctx.sources);
-            for engine in Engine::all() {
+            for engine in EngineKind::all() {
                 eprintln!("  [matrix] BFS {} / {} ...", d.spec.symbol, engine.name());
-                let mut sys = TraversalSystem::new(engine.config(), &d.graph, None);
-                let dataset = sys.dataset_bytes();
+                let mut eng = Engine::load(engine.config(), &d.graph);
+                let dataset = eng.dataset_bytes();
                 let mut cell = Cell::default();
                 for &s in &sources {
-                    let run = sys.bfs(s);
+                    let run = eng.bfs(s);
                     cell.avg_ns += run.stats.elapsed_ns as f64;
                     cell.avg_pcie_gbps += run.stats.avg_pcie_gbps;
                     cell.avg_amplification += run.stats.amplification(dataset);
@@ -118,8 +127,8 @@ mod tests {
         // On tiny scaled graphs the absolute ratios shift, but the merged
         // engines must still beat the naive one everywhere.
         for g in DatasetKey::all() {
-            let naive = m.get(g, Engine::Naive).avg_ns;
-            let merged = m.get(g, Engine::MergedAligned).avg_ns;
+            let naive = m.get(g, EngineKind::Naive).avg_ns;
+            let merged = m.get(g, EngineKind::MergedAligned).avg_ns;
             assert!(merged < naive, "{g:?}: merged {merged} vs naive {naive}");
         }
     }

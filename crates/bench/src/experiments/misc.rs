@@ -3,8 +3,8 @@
 
 use crate::table::{f, pct};
 use crate::{Context, Table};
-use emogi_graph::{DatasetKey, DegreeCdf};
 use emogi_gpu::GpuPreset;
+use emogi_graph::{DatasetKey, DegreeCdf};
 use emogi_sim::pcie::PcieGen;
 
 /// Table 1: the simulated evaluation platform.
@@ -27,7 +27,10 @@ pub fn table1() -> Table {
     ]);
     t.row(vec![
         "Resident warps".into(),
-        format!("{} (x{} in-flight reads each)", v100.resident_warps, v100.max_pending_per_warp),
+        format!(
+            "{} (x{} in-flight reads each)",
+            v100.resident_warps, v100.max_pending_per_warp
+        ),
     ]);
     t.row(vec![
         "Interconnect".into(),
@@ -56,7 +59,15 @@ pub fn table2(ctx: &Context) -> Table {
         "table2",
         "Graph datasets (scaled stand-ins for paper Table 2)",
         &[
-            "sym", "domain", "|V|", "|E|", "avg deg", "|E| MB", "|w| MB", "paper |E| GB", "dir",
+            "sym",
+            "domain",
+            "|V|",
+            "|E|",
+            "avg deg",
+            "|E| MB",
+            "|w| MB",
+            "paper |E| GB",
+            "dir",
         ],
     );
     for key in DatasetKey::all() {

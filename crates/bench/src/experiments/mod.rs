@@ -7,16 +7,44 @@ pub mod case_study;
 pub mod hybrid;
 pub mod matrix;
 pub mod misc;
+pub mod pagerank;
 pub mod prior;
 pub mod toy;
 
 use crate::{Context, Table};
+use emogi_runtime::MachineConfig;
+
+/// V100 machine with cache and device memory divided by the context's
+/// scale divisor, like the datasets themselves, so the edge-list : cache
+/// : device-memory ratios that drive transport trade-offs survive
+/// reduced-scale runs. Shared by the `hybrid` and `pagerank` experiments.
+pub(crate) fn scaled_machine(scale: usize) -> MachineConfig {
+    let mut m = MachineConfig::v100_gen3();
+    let s = scale.max(1) as u64;
+    m.gpu.cache.capacity_bytes = (m.gpu.cache.capacity_bytes / s).max(32 << 10);
+    m.gpu.mem_bytes = (m.gpu.mem_bytes / s).max(256 << 10);
+    m
+}
 
 /// All experiment ids: the paper's, in paper order, then this repo's own
 /// extensions.
 pub const ALL_IDS: &[&str] = &[
-    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "table3", "ablations", "hybrid",
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table3",
+    "ablations",
+    "hybrid",
+    "pagerank",
 ];
 
 /// Run one experiment by id. The BFS case-study figures (5, 7–10) share
@@ -43,13 +71,19 @@ pub fn run(id: &str, ctx: &Context) -> Vec<Table> {
         "table3" => vec![prior::table3(ctx)],
         "ablations" => ablations::all(ctx),
         "hybrid" => vec![hybrid::hybrid(ctx)],
+        "pagerank" => vec![pagerank::pagerank(ctx)],
         other => panic!("unknown experiment id {other:?} (known: {ALL_IDS:?})"),
     }
 }
 
 /// Run the full evaluation, computing the shared matrix once.
 pub fn run_all(ctx: &Context) -> Vec<Table> {
-    let mut out = vec![misc::table1(), misc::table2(ctx), toy::fig3(ctx), toy::fig4(ctx)];
+    let mut out = vec![
+        misc::table1(),
+        misc::table2(ctx),
+        toy::fig3(ctx),
+        toy::fig4(ctx),
+    ];
     let m = matrix::BfsMatrix::compute(ctx);
     out.push(case_study::fig5(&m));
     out.push(misc::fig6(ctx));
@@ -62,5 +96,6 @@ pub fn run_all(ctx: &Context) -> Vec<Table> {
     out.push(prior::table3(ctx));
     out.extend(ablations::all(ctx));
     out.push(hybrid::hybrid(ctx));
+    out.push(pagerank::pagerank(ctx));
     out
 }

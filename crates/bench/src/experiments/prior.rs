@@ -5,7 +5,7 @@ use super::apps::App;
 use crate::table::{f, ms};
 use crate::{Context, Table};
 use emogi_baselines::{HaloSystem, SubwayMode, SubwaySystem};
-use emogi_core::TraversalConfig;
+use emogi_core::EngineConfig;
 use emogi_graph::DatasetKey;
 use emogi_runtime::MachineConfig;
 
@@ -54,7 +54,15 @@ pub fn table3(ctx: &Context) -> Table {
     let mut t = Table::new(
         "table3",
         "Comparison with HALO (Titan Xp) and Subway (V100, 4-byte)",
-        &["work", "app", "graph", "theirs (ms)", "EMOGI (ms)", "speedup", "paper speedup"],
+        &[
+            "work",
+            "app",
+            "graph",
+            "theirs (ms)",
+            "EMOGI (ms)",
+            "speedup",
+            "paper speedup",
+        ],
     );
     for &(work, app_name, sym, _pt, _pe, pspeed) in PAPER_ROWS {
         let key = key_of(sym);
@@ -65,14 +73,13 @@ pub fn table3(ctx: &Context) -> Table {
             // HALO rows run on the Titan Xp with 8-byte elements; both
             // sides re-measured on that GPU (§5.6).
             let halo = HaloSystem::new(
-                TraversalConfig::uvm_v100().with_machine(MachineConfig::titan_xp_gen3()),
+                EngineConfig::uvm_v100().with_machine(MachineConfig::titan_xp_gen3()),
                 &d.graph,
                 None,
             );
             let sources = d.sources(ctx.sources);
             let ht: u64 = sources.iter().map(|&s| halo.bfs(s).stats.elapsed_ns).sum();
-            let cfg =
-                TraversalConfig::emogi_v100().with_machine(MachineConfig::titan_xp_gen3());
+            let cfg = EngineConfig::emogi_v100().with_machine(MachineConfig::titan_xp_gen3());
             let et = super::apps::run_app(cfg, &d, app, ctx.sources);
             (ht as f64 / sources.len() as f64, et)
         } else {
@@ -98,7 +105,7 @@ pub fn table3(ctx: &Context) -> Table {
                     total as f64 / sources.len() as f64
                 }
             };
-            let cfg = TraversalConfig::emogi_v100().with_elem_bytes(4);
+            let cfg = EngineConfig::emogi_v100().with_elem_bytes(4);
             let et = super::apps::run_app(cfg, &d, app, ctx.sources);
             (st, et)
         };

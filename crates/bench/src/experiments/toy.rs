@@ -42,7 +42,13 @@ pub fn fig4(ctx: &Context) -> Table {
     let mut t = Table::new(
         "fig4",
         "PCIe / DRAM bandwidth of zero-copy access patterns (GB/s)",
-        &["configuration", "PCIe GB/s", "DRAM GB/s", "paper PCIe", "paper DRAM"],
+        &[
+            "configuration",
+            "PCIe GB/s",
+            "DRAM GB/s",
+            "paper PCIe",
+            "paper DRAM",
+        ],
     );
     let paper = [
         (ToyPattern::Strided, 4.74, 9.40),

@@ -77,7 +77,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }

@@ -1,214 +1,111 @@
-//! Breadth-first search kernel (§5.3's case study).
+//! Breadth-first search as a [`VertexProgram`] (§5.3's case study).
 //!
 //! Vertex-centric, level-synchronous, push-based: one kernel launch per
 //! BFS level ("the total number of kernels launched ... is equal to the
 //! distance between the source vertex to the furthest reachable vertex",
-//! §4.2). A task walks one frontier vertex's neighbour list (Merged /
-//! Merged+Aligned) or 32 of them lane-parallel (Naive), reading the edge
-//! list from host memory and checking/updating the 4-byte level array in
-//! device memory.
+//! §4.2). Frontier-driven: each launch expands only the vertices
+//! discovered by the previous one, reading the edge list from host
+//! memory and checking/updating the 4-byte level array in device memory.
 
-use crate::layout::GraphLayout;
-use crate::strategy::AccessStrategy;
-use crate::walk::{LaneWalk, WarpWalk};
+use crate::program::{AccessPattern, EdgeEffect, VertexProgram};
 use emogi_graph::{CsrGraph, VertexId, UNVISITED};
-use emogi_gpu::access::{AccessBatch, Space, WARP_SIZE};
-use emogi_runtime::{Kernel, StepOutcome};
 
-/// One BFS level's kernel: expands `frontier` into `next_frontier`.
-pub struct BfsKernel<'a> {
-    pub graph: &'a CsrGraph,
-    pub layout: &'a GraphLayout,
-    pub strategy: AccessStrategy,
-    /// Device-resident level array (semantic copy).
-    pub levels: &'a mut [u32],
-    /// Level to assign to newly discovered vertices.
-    pub next_level: u32,
-    pub frontier: &'a [VertexId],
-    pub next_frontier: &'a mut Vec<VertexId>,
-    pos: usize,
-    loaded_scratch: Vec<(u64, u8)>,
+/// BFS result: per-vertex levels ([`UNVISITED`] when unreachable).
+#[derive(Debug, Clone)]
+pub struct BfsOutput {
+    pub levels: Vec<u32>,
 }
 
-impl<'a> BfsKernel<'a> {
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        graph: &'a CsrGraph,
-        layout: &'a GraphLayout,
-        strategy: AccessStrategy,
-        levels: &'a mut [u32],
-        next_level: u32,
-        frontier: &'a [VertexId],
-        next_frontier: &'a mut Vec<VertexId>,
-    ) -> Self {
+/// The BFS vertex program. Per-vertex state: the device-resident level
+/// array (semantic copy).
+pub struct BfsProgram {
+    src: VertexId,
+    levels: Vec<u32>,
+    /// Level assigned to vertices discovered in the current launch.
+    next_level: u32,
+}
+
+impl BfsProgram {
+    pub fn new(graph: &CsrGraph, src: VertexId) -> Self {
+        let mut levels = vec![UNVISITED; graph.num_vertices()];
+        levels[src as usize] = 0;
         Self {
-            graph,
-            layout,
-            strategy,
+            src,
             levels,
-            next_level,
-            frontier,
-            next_frontier,
-            pos: 0,
-            loaded_scratch: Vec::with_capacity(WARP_SIZE),
+            next_level: 0,
         }
     }
+}
 
-    /// Process the semantics of edge-list element `i`: read the
-    /// destination's level, discover it if unvisited. `instr` separates
-    /// the status gathers of different loop iterations.
-    fn visit_edge(&mut self, i: u64, instr: u8, batch: &mut AccessBatch) {
-        let dst = self.graph.edge_dst(i);
-        batch.load_instr(self.layout.status_addr(u64::from(dst)), 4, Space::Device, instr);
+impl VertexProgram for BfsProgram {
+    type Ctx = ();
+    type Output = BfsOutput;
+
+    fn pattern(&self) -> AccessPattern {
+        AccessPattern::FrontierDriven
+    }
+
+    /// A BFS task needs only its CSR offsets; its own level is implied by
+    /// being on the frontier.
+    fn reads_source_status(&self) -> bool {
+        false
+    }
+
+    fn initial_frontier(&self) -> Vec<VertexId> {
+        vec![self.src]
+    }
+
+    fn begin_iteration(&mut self) {
+        self.next_level += 1;
+    }
+
+    fn source_ctx(&self, _v: VertexId) -> Self::Ctx {}
+
+    fn edge(&mut self, _i: u64, _src: VertexId, dst: VertexId, _ctx: ()) -> EdgeEffect {
         if self.levels[dst as usize] == UNVISITED {
             self.levels[dst as usize] = self.next_level;
-            batch.store(self.layout.status_addr(u64::from(dst)), 4, Space::Device);
-            self.next_frontier.push(dst);
-        }
-    }
-}
-
-/// Task state: offset loading, then list walking.
-///
-/// The naive variant carries 32 lane cursors and is much larger than the
-/// warp variant; tasks live in pre-sized executor slots, so the size
-/// difference is intentional and harmless.
-#[allow(clippy::large_enum_variant)]
-pub enum BfsTask {
-    /// Merged/aligned: a warp on one vertex.
-    Warp { v: VertexId, walk: Option<WarpWalk> },
-    /// Naive: 32 lanes on 32 vertices.
-    Lanes {
-        vs: Vec<VertexId>,
-        walk: Option<LaneWalk>,
-    },
-}
-
-impl Kernel for BfsKernel<'_> {
-    type Task = BfsTask;
-
-    fn next_task(&mut self) -> Option<BfsTask> {
-        if self.pos >= self.frontier.len() {
-            return None;
-        }
-        if self.strategy.warp_per_vertex() {
-            let v = self.frontier[self.pos];
-            self.pos += 1;
-            Some(BfsTask::Warp { v, walk: None })
+            EdgeEffect::UpdateDst { activate: true }
         } else {
-            let chunk = &self.frontier[self.pos..(self.pos + WARP_SIZE).min(self.frontier.len())];
-            self.pos += chunk.len();
-            Some(BfsTask::Lanes {
-                vs: chunk.to_vec(),
-                walk: None,
-            })
+            EdgeEffect::None
         }
     }
 
-    fn step(&mut self, task: &mut BfsTask, batch: &mut AccessBatch) -> StepOutcome {
-        match task {
-            BfsTask::Warp { v, walk } => {
-                let Some(w) = walk else {
-                    // First step: the warp reads offsets[v] and offsets[v+1]
-                    // from the device-resident vertex list.
-                    batch.load(self.layout.vertex_addr(u64::from(*v)), 8, Space::Device);
-                    batch.load(self.layout.vertex_addr(u64::from(*v) + 1), 8, Space::Device);
-                    let start = self.graph.neighbor_start(*v);
-                    let end = self.graph.neighbor_end(*v);
-                    if start == end {
-                        return StepOutcome::Done;
-                    }
-                    *walk = Some(WarpWalk::new(start, end, self.strategy, self.layout));
-                    return StepOutcome::Continue;
-                };
-                let (lo, hi) = w.emit_edges(self.layout, batch);
-                for i in lo..hi {
-                    self.visit_edge(i, 128, batch);
-                }
-                if w.is_done() {
-                    StepOutcome::Done
-                } else {
-                    StepOutcome::Continue
-                }
-            }
-            BfsTask::Lanes { vs, walk } => {
-                let Some(w) = walk else {
-                    let mut ranges = Vec::with_capacity(vs.len());
-                    for &v in vs.iter() {
-                        batch.load(self.layout.vertex_addr(u64::from(v)), 8, Space::Device);
-                        batch.load(self.layout.vertex_addr(u64::from(v) + 1), 8, Space::Device);
-                        ranges.push((self.graph.neighbor_start(v), self.graph.neighbor_end(v)));
-                    }
-                    let lw = LaneWalk::new(&ranges);
-                    if lw.is_done() {
-                        return StepOutcome::Done;
-                    }
-                    *walk = Some(lw);
-                    return StepOutcome::Continue;
-                };
-                let mut loaded = std::mem::take(&mut self.loaded_scratch);
-                loaded.clear();
-                w.emit_edges(self.layout, batch, &mut loaded);
-                for &(elem, iter) in &loaded {
-                    self.visit_edge(elem, 128 + iter, batch);
-                }
-                let done = w.is_done();
-                self.loaded_scratch = loaded;
-                if done {
-                    StepOutcome::Done
-                } else {
-                    StepOutcome::Continue
-                }
-            }
+    fn finish(self) -> BfsOutput {
+        BfsOutput {
+            levels: self.levels,
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::layout::EdgePlacement;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::strategy::AccessStrategy;
     use emogi_graph::{algo, generators};
-    use emogi_runtime::machine::MachineConfig;
-    use emogi_runtime::{exec, Machine};
 
-    /// Run a full BFS through the kernel machinery and compare with the
-    /// CPU reference, for every strategy.
-    fn bfs_via_kernel(strategy: AccessStrategy) {
+    /// Run a full BFS through the engine and compare with the CPU
+    /// reference, for every strategy.
+    fn bfs_via_engine(strategy: AccessStrategy) {
         let g = generators::uniform_random(500, 6, 42);
-        let mut m = Machine::new(MachineConfig::v100_gen3());
-        let layout = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, false);
-        let mut levels = vec![UNVISITED; g.num_vertices()];
-        levels[3] = 0;
-        let mut frontier = vec![3u32];
-        let mut level = 0;
-        while !frontier.is_empty() {
-            let mut next = Vec::new();
-            let mut k = BfsKernel::new(
-                &g, &layout, strategy, &mut levels, level + 1, &frontier, &mut next,
-            );
-            exec::run_kernel(&mut m, &mut k);
-            next.sort_unstable();
-            frontier = next;
-            level += 1;
-        }
-        assert_eq!(levels, algo::bfs_levels(&g, 3), "{strategy:?}");
-        assert!(m.monitor.read_requests > 0);
+        let mut engine = Engine::load(EngineConfig::emogi_v100().with_strategy(strategy), &g);
+        let run = engine.bfs(3);
+        assert_eq!(run.levels, algo::bfs_levels(&g, 3), "{strategy:?}");
+        assert!(run.stats.pcie_read_requests > 0);
     }
 
     #[test]
     fn merged_aligned_matches_reference() {
-        bfs_via_kernel(AccessStrategy::MergedAligned);
+        bfs_via_engine(AccessStrategy::MergedAligned);
     }
 
     #[test]
     fn merged_matches_reference() {
-        bfs_via_kernel(AccessStrategy::Merged);
+        bfs_via_engine(AccessStrategy::Merged);
     }
 
     #[test]
     fn naive_matches_reference() {
-        bfs_via_kernel(AccessStrategy::Naive);
+        bfs_via_engine(AccessStrategy::Naive);
     }
 
     #[test]
@@ -216,28 +113,12 @@ mod tests {
         // §5.3.1: "nearly all PCIe requests in the case of Naive
         // implementation are of 32-byte granularity".
         let g = generators::uniform_random(2_000, 32, 7);
-        let mut m = Machine::new(MachineConfig::v100_gen3());
-        let layout = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, false);
-        let mut levels = vec![UNVISITED; g.num_vertices()];
-        levels[0] = 0;
-        let mut frontier: Vec<u32> = vec![0];
-        // Expand one hop to get a wide frontier, then measure the next.
-        for _ in 0..2 {
-            let mut next = Vec::new();
-            let mut k = BfsKernel::new(
-                &g,
-                &layout,
-                AccessStrategy::Naive,
-                &mut levels,
-                1,
-                &frontier,
-                &mut next,
-            );
-            exec::run_kernel(&mut m, &mut k);
-            next.sort_unstable();
-            frontier = next;
-        }
-        let frac32 = m.monitor.sizes.fraction(32);
+        let mut engine = Engine::load(
+            EngineConfig::emogi_v100().with_strategy(AccessStrategy::Naive),
+            &g,
+        );
+        let run = engine.bfs(0);
+        let frac32 = run.stats.request_sizes.fraction(32);
         assert!(frac32 > 0.9, "32-byte fraction {frac32}");
     }
 
@@ -245,21 +126,8 @@ mod tests {
     fn aligned_produces_more_128_byte_requests_than_merged() {
         let g = generators::lognormal_dense(400, 150.0, 0.4, 64, 5);
         let run = |strategy| {
-            let mut m = Machine::new(MachineConfig::v100_gen3());
-            let layout = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, false);
-            let mut levels = vec![UNVISITED; g.num_vertices()];
-            levels[0] = 0;
-            let mut frontier: Vec<u32> = vec![0];
-            while !frontier.is_empty() {
-                let mut next = Vec::new();
-                let mut k = BfsKernel::new(
-                    &g, &layout, strategy, &mut levels, 1, &frontier, &mut next,
-                );
-                exec::run_kernel(&mut m, &mut k);
-                next.sort_unstable();
-                frontier = next;
-            }
-            m.monitor.sizes.fraction(128)
+            let mut engine = Engine::load(EngineConfig::emogi_v100().with_strategy(strategy), &g);
+            engine.bfs(0).stats.request_sizes.fraction(128)
         };
         let merged = run(AccessStrategy::Merged);
         let aligned = run(AccessStrategy::MergedAligned);

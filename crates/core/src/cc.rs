@@ -1,169 +1,105 @@
-//! Connected components kernel (Shiloach-Vishkin-style hook + shortcut,
-//! after the GARDENIA baseline the paper builds on [51]).
+//! Connected components as a [`VertexProgram`] (Shiloach-Vishkin-style
+//! hook + shortcut, after the GARDENIA baseline the paper builds on
+//! [51]).
 //!
 //! "With CC, instead of picking a specific vertex to start with, all
 //! vertices are set as root vertices and the entire edge list is
-//! traversed" (§5.4) — every hook pass streams the whole edge list, which
-//! is why CC shows the most spatial locality of the three applications
-//! and the smallest EMOGI-over-UVM gain. The shortcut (pointer-jumping)
-//! passes touch only the device-resident label array; the traversal
-//! driver charges them separately.
+//! traversed" (§5.4) — CC is the canonical
+//! [`AccessPattern::FullSweep`] program: every hook pass streams the
+//! whole edge list, which is why CC shows the most spatial locality of
+//! the three applications and the smallest EMOGI-over-UVM gain. The
+//! shortcut (pointer-jumping) passes touch only the device-resident
+//! label array; the program reports them as inter-launch device work.
 
-use crate::layout::GraphLayout;
-use crate::strategy::AccessStrategy;
-use crate::walk::{LaneWalk, WarpWalk};
+use crate::program::{AccessPattern, DeviceWork, EdgeEffect, VertexProgram};
 use emogi_graph::{CsrGraph, VertexId};
-use emogi_gpu::access::{AccessBatch, Space, WARP_SIZE};
-use emogi_runtime::{Kernel, StepOutcome};
 
-/// One hook pass: every vertex adopts the smallest label among its own
-/// and its neighbours'.
-pub struct CcKernel<'a> {
-    pub graph: &'a CsrGraph,
-    pub layout: &'a GraphLayout,
-    pub strategy: AccessStrategy,
-    /// Device-resident component label array (semantic copy).
-    pub comp: &'a mut [u32],
-    /// Set if any label changed in this pass.
-    pub changed: bool,
-    pos: u32,
-    loaded_scratch: Vec<(u64, u8)>,
+/// CC result: per-vertex component labels (the smallest vertex id of the
+/// component) and the number of hook passes it took to converge.
+#[derive(Debug, Clone)]
+pub struct CcOutput {
+    pub comp: Vec<u32>,
+    pub hook_passes: u64,
 }
 
-impl<'a> CcKernel<'a> {
-    pub fn new(
-        graph: &'a CsrGraph,
-        layout: &'a GraphLayout,
-        strategy: AccessStrategy,
-        comp: &'a mut [u32],
-    ) -> Self {
+/// The CC vertex program. Per-vertex state: the device-resident label
+/// array (semantic copy).
+pub struct CcProgram {
+    comp: Vec<u32>,
+    changed: bool,
+    hook_passes: u64,
+}
+
+impl CcProgram {
+    pub fn new(graph: &CsrGraph) -> Self {
         assert!(
             graph.is_undirected(),
             "CC requires an undirected graph (the paper skips SK/UK5 for CC)"
         );
         Self {
-            graph,
-            layout,
-            strategy,
-            comp,
+            comp: (0..graph.num_vertices() as u32).collect(),
             changed: false,
-            pos: 0,
-            loaded_scratch: Vec::with_capacity(WARP_SIZE),
+            hook_passes: 0,
         }
     }
+}
 
-    fn hook(&mut self, i: u64, src: VertexId, instr: u8, batch: &mut AccessBatch) {
-        let dst = self.graph.edge_dst(i);
-        batch.load_instr(self.layout.status_addr(u64::from(dst)), 4, Space::Device, instr);
+impl VertexProgram for CcProgram {
+    type Ctx = ();
+    type Output = CcOutput;
+
+    fn pattern(&self) -> AccessPattern {
+        AccessPattern::FullSweep
+    }
+
+    fn reads_source_status(&self) -> bool {
+        true
+    }
+
+    fn begin_iteration(&mut self) {
+        self.changed = false;
+        self.hook_passes += 1;
+    }
+
+    fn source_ctx(&self, _v: VertexId) -> Self::Ctx {}
+
+    /// Hook: the source adopts the smaller of its own and the
+    /// neighbour's label (reads the source's label live — an earlier
+    /// edge of the same task may already have lowered it).
+    fn edge(&mut self, _i: u64, src: VertexId, dst: VertexId, _ctx: ()) -> EdgeEffect {
         let cd = self.comp[dst as usize];
         if cd < self.comp[src as usize] {
             self.comp[src as usize] = cd;
-            batch.store(self.layout.status_addr(u64::from(src)), 4, Space::Device);
             self.changed = true;
-        }
-    }
-}
-
-#[allow(clippy::large_enum_variant)]
-pub enum CcTask {
-    Warp { v: VertexId, walk: Option<WarpWalk> },
-    Lanes {
-        vs: Vec<VertexId>,
-        walk: Option<LaneWalk>,
-    },
-}
-
-impl Kernel for CcKernel<'_> {
-    type Task = CcTask;
-
-    fn next_task(&mut self) -> Option<CcTask> {
-        let n = self.graph.num_vertices() as u32;
-        if self.pos >= n {
-            return None;
-        }
-        if self.strategy.warp_per_vertex() {
-            let v = self.pos;
-            self.pos += 1;
-            Some(CcTask::Warp { v, walk: None })
+            EdgeEffect::UpdateSrc
         } else {
-            let lo = self.pos;
-            let hi = (lo + WARP_SIZE as u32).min(n);
-            self.pos = hi;
-            Some(CcTask::Lanes {
-                vs: (lo..hi).collect(),
-                walk: None,
-            })
+            EdgeEffect::None
         }
     }
 
-    fn step(&mut self, task: &mut CcTask, batch: &mut AccessBatch) -> StepOutcome {
-        match task {
-            CcTask::Warp { v, walk } => {
-                let Some(w) = walk else {
-                    batch.load(self.layout.vertex_addr(u64::from(*v)), 8, Space::Device);
-                    batch.load(self.layout.vertex_addr(u64::from(*v) + 1), 8, Space::Device);
-                    batch.load(self.layout.status_addr(u64::from(*v)), 4, Space::Device);
-                    let (start, end) = (self.graph.neighbor_start(*v), self.graph.neighbor_end(*v));
-                    if start == end {
-                        return StepOutcome::Done;
-                    }
-                    *walk = Some(WarpWalk::new(start, end, self.strategy, self.layout));
-                    return StepOutcome::Continue;
-                };
-                let (lo, hi) = w.emit_edges(self.layout, batch);
-                let src = *v;
-                for i in lo..hi {
-                    self.hook(i, src, 128, batch);
-                }
-                if w.is_done() {
-                    StepOutcome::Done
-                } else {
-                    StepOutcome::Continue
-                }
-            }
-            CcTask::Lanes { vs, walk } => {
-                let Some(w) = walk else {
-                    let mut ranges = Vec::with_capacity(vs.len());
-                    for &v in vs.iter() {
-                        batch.load(self.layout.vertex_addr(u64::from(v)), 8, Space::Device);
-                        batch.load(self.layout.vertex_addr(u64::from(v) + 1), 8, Space::Device);
-                        batch.load(self.layout.status_addr(u64::from(v)), 4, Space::Device);
-                        ranges.push((self.graph.neighbor_start(v), self.graph.neighbor_end(v)));
-                    }
-                    let lw = LaneWalk::new(&ranges);
-                    if lw.is_done() {
-                        return StepOutcome::Done;
-                    }
-                    *walk = Some(lw);
-                    return StepOutcome::Continue;
-                };
-                let mut loaded = std::mem::take(&mut self.loaded_scratch);
-                loaded.clear();
-                w.emit_edges(self.layout, batch, &mut loaded);
-                for &(i, iter) in &loaded {
-                    let lane = vs
-                        .iter()
-                        .position(|&v| {
-                            i >= self.graph.neighbor_start(v) && i < self.graph.neighbor_end(v)
-                        })
-                        .expect("element belongs to some lane");
-                    self.hook(i, vs[lane], 128 + iter, batch);
-                }
-                let done = w.is_done();
-                self.loaded_scratch = loaded;
-                if done {
-                    StepOutcome::Done
-                } else {
-                    StepOutcome::Continue
-                }
-            }
+    /// Pointer-jumping shortcut after each hook pass. Pure device-array
+    /// work: charge two 4-byte streams (read + gather) per pass.
+    fn post_iteration(&mut self, work: &mut DeviceWork) {
+        let jump_passes = shortcut(&mut self.comp);
+        for _ in 0..jump_passes {
+            work.bulk_read(self.comp.len() as u64 * 8);
+        }
+    }
+
+    fn converged(&self) -> bool {
+        !self.changed
+    }
+
+    fn finish(self) -> CcOutput {
+        CcOutput {
+            comp: self.comp,
+            hook_passes: self.hook_passes,
         }
     }
 }
 
 /// Pointer-jumping shortcut: `comp[v] = comp[comp[v]]` to fixpoint.
-/// Pure device-array work; returns the number of jump passes so the
-/// driver can charge their cost.
+/// Returns the number of jump passes so their cost can be charged.
 pub fn shortcut(comp: &mut [u32]) -> u32 {
     let mut passes = 0;
     loop {
@@ -186,44 +122,31 @@ pub fn shortcut(comp: &mut [u32]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layout::EdgePlacement;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::strategy::AccessStrategy;
     use emogi_graph::{algo, generators};
-    use emogi_runtime::machine::MachineConfig;
-    use emogi_runtime::{exec, Machine};
 
-    fn cc_via_kernel(strategy: AccessStrategy, seed: u64) {
+    fn cc_via_engine(strategy: AccessStrategy, seed: u64) {
         let g = generators::uniform_random(400, 4, seed);
-        let mut m = Machine::new(MachineConfig::v100_gen3());
-        let layout = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, false);
-        let mut comp: Vec<u32> = (0..g.num_vertices() as u32).collect();
-        let mut guard = 0;
-        loop {
-            guard += 1;
-            assert!(guard < 100, "CC failed to converge");
-            let mut k = CcKernel::new(&g, &layout, strategy, &mut comp);
-            exec::run_kernel(&mut m, &mut k);
-            let changed = k.changed;
-            shortcut(&mut comp);
-            if !changed {
-                break;
-            }
-        }
-        assert_eq!(comp, algo::cc_labels(&g), "{strategy:?}");
+        let mut engine = Engine::load(EngineConfig::emogi_v100().with_strategy(strategy), &g);
+        let run = engine.cc();
+        assert_eq!(run.comp, algo::cc_labels(&g), "{strategy:?}");
+        assert_eq!(run.hook_passes, run.stats.kernel_launches);
     }
 
     #[test]
     fn merged_aligned_matches_union_find() {
-        cc_via_kernel(AccessStrategy::MergedAligned, 4);
+        cc_via_engine(AccessStrategy::MergedAligned, 4);
     }
 
     #[test]
     fn merged_matches_union_find() {
-        cc_via_kernel(AccessStrategy::Merged, 5);
+        cc_via_engine(AccessStrategy::Merged, 5);
     }
 
     #[test]
     fn naive_matches_union_find() {
-        cc_via_kernel(AccessStrategy::Naive, 6);
+        cc_via_engine(AccessStrategy::Naive, 6);
     }
 
     #[test]
@@ -238,22 +161,17 @@ mod tests {
     #[should_panic(expected = "undirected")]
     fn directed_graph_rejected() {
         let g = generators::web_crawl(100, 4, 20, 0.8, 1);
-        let mut m = Machine::new(MachineConfig::v100_gen3());
-        let layout = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, false);
-        let mut comp: Vec<u32> = (0..100).collect();
-        let _ = CcKernel::new(&g, &layout, AccessStrategy::Merged, &mut comp);
+        let _ = CcProgram::new(&g);
     }
 
     #[test]
     fn full_pass_streams_whole_edge_list() {
         let g = generators::uniform_random(512, 8, 11);
-        let mut m = Machine::new(MachineConfig::v100_gen3());
-        let layout = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, false);
-        let mut comp: Vec<u32> = (0..g.num_vertices() as u32).collect();
-        let mut k = CcKernel::new(&g, &layout, AccessStrategy::MergedAligned, &mut comp);
-        exec::run_kernel(&mut m, &mut k);
-        // One pass must read at least every edge element once (8 bytes
-        // each), minus nothing — plus alignment overfetch.
-        assert!(m.monitor.zero_copy_bytes >= g.num_edges() as u64 * 8);
+        let mut engine = Engine::load(EngineConfig::emogi_v100(), &g);
+        let run = engine.cc();
+        // Every hook pass must read at least every edge element once
+        // (8 bytes each) — plus alignment overfetch, minus cache hits on
+        // later passes; the first pass alone covers the edge list.
+        assert!(run.stats.host_bytes >= g.num_edges() as u64 * 8);
     }
 }

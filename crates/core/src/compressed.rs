@@ -8,9 +8,9 @@
 //! id-space locality, which is exactly where an interconnect-bound
 //! traversal gains.
 
+use emogi_gpu::access::{AccessBatch, Space, WARP_SIZE};
 use emogi_graph::compress::CompressedCsr;
 use emogi_graph::{VertexId, UNVISITED};
-use emogi_gpu::access::{AccessBatch, Space, WARP_SIZE};
 use emogi_runtime::exec::run_kernel;
 use emogi_runtime::machine::MachineConfig;
 use emogi_runtime::report::RunStats;
@@ -70,7 +70,11 @@ impl Kernel for CompressedBfsKernel<'_, '_> {
             // to the 128-byte boundary (EMOGI's aligned trick, applied to
             // the byte stream).
             batch.load(self.vertex_base + u64::from(task.v) * 8, 8, Space::Device);
-            batch.load(self.vertex_base + (u64::from(task.v) + 1) * 8, 8, Space::Device);
+            batch.load(
+                self.vertex_base + (u64::from(task.v) + 1) * 8,
+                8,
+                Space::Device,
+            );
             let (start, end) = self.sys_graph.byte_range(task.v);
             if start == end {
                 return StepOutcome::Done;
@@ -171,7 +175,7 @@ impl<'g> CompressedBfs<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{TraversalConfig, TraversalSystem};
+    use crate::{Engine, EngineConfig};
     use emogi_graph::{algo, generators};
 
     #[test]
@@ -192,7 +196,7 @@ mod tests {
         let g = generators::web_crawl(4_000, 16, 200, 0.9, 9);
         let src = (0..4_000u32).find(|&v| g.degree(v) > 0).unwrap();
 
-        let mut raw = TraversalSystem::new(TraversalConfig::emogi_v100(), &g, None);
+        let mut raw = Engine::load(EngineConfig::emogi_v100(), &g);
         let raw_run = raw.bfs(src);
 
         let c = CompressedCsr::encode(&g);

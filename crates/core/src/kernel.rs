@@ -1,0 +1,343 @@
+//! The one generic traversal kernel: any [`VertexProgram`] over any
+//! [`AccessStrategy`].
+//!
+//! This collapses what used to be three near-identical kernel structs
+//! (BFS / SSSP / CC each carried its own `Warp`/`Lanes` task enum, offset
+//! loading and walk plumbing) into one. The *memory shape* of a launch is
+//! algorithm-independent — per task: two 8-byte CSR offset loads (plus
+//! the 4-byte own-status load for programs that declare it), then a
+//! [`WarpWalk`] or [`LaneWalk`] over the neighbour list with a 4-byte
+//! status gather per edge (plus the 4-byte edge-data stream for programs
+//! that declare it), with conditional status stores. Only the per-edge
+//! state update is the program's.
+
+use crate::layout::GraphLayout;
+use crate::program::{EdgeEffect, VertexProgram};
+use crate::strategy::AccessStrategy;
+use crate::walk::{LaneWalk, WarpWalk};
+use emogi_gpu::access::{AccessBatch, Space, WARP_SIZE};
+use emogi_graph::{CsrGraph, VertexId};
+use emogi_runtime::{Kernel, StepOutcome};
+
+/// The vertices one launch iterates over.
+#[derive(Debug, Clone, Copy)]
+pub enum WorkList<'a> {
+    /// Frontier-driven: this iteration's active vertices.
+    Frontier(&'a [VertexId]),
+    /// Full sweep: every vertex `0..n`.
+    All(u32),
+}
+
+impl WorkList<'_> {
+    fn len(&self) -> usize {
+        match self {
+            WorkList::Frontier(f) => f.len(),
+            WorkList::All(n) => *n as usize,
+        }
+    }
+
+    fn get(&self, i: usize) -> VertexId {
+        match self {
+            WorkList::Frontier(f) => f[i],
+            WorkList::All(_) => i as VertexId,
+        }
+    }
+}
+
+/// Task state: offset loading, then list walking.
+///
+/// The naive variant carries 32 lane cursors and is much larger than the
+/// warp variant; tasks live in pre-sized executor slots, so the size
+/// difference is intentional and harmless.
+#[allow(clippy::large_enum_variant)]
+pub enum ProgramTask<C> {
+    /// Merged/aligned: a warp on one vertex.
+    Warp {
+        v: VertexId,
+        ctx: Option<C>,
+        walk: Option<WarpWalk>,
+    },
+    /// Naive: 32 lanes on 32 vertices.
+    Lanes {
+        vs: Vec<VertexId>,
+        ctxs: Vec<C>,
+        walk: Option<LaneWalk>,
+    },
+}
+
+/// One launch of `program` over `work`.
+pub struct ProgramKernel<'a, P: VertexProgram> {
+    graph: &'a CsrGraph,
+    layout: &'a GraphLayout,
+    strategy: AccessStrategy,
+    program: &'a mut P,
+    work: WorkList<'a>,
+    /// Vertices activated this launch (frontier-driven programs).
+    next_frontier: &'a mut Vec<VertexId>,
+    pos: usize,
+    loaded_scratch: Vec<(u64, u8)>,
+    /// Cached program capability flags (hot path).
+    edge_data: bool,
+    source_status: bool,
+    /// Full sweeps re-enumerate every vertex anyway, so activations are
+    /// meaningless there — don't collect them.
+    collect_activations: bool,
+}
+
+impl<'a, P: VertexProgram> ProgramKernel<'a, P> {
+    pub fn new(
+        graph: &'a CsrGraph,
+        layout: &'a GraphLayout,
+        strategy: AccessStrategy,
+        program: &'a mut P,
+        work: WorkList<'a>,
+        next_frontier: &'a mut Vec<VertexId>,
+    ) -> Self {
+        let edge_data = program.uses_edge_data();
+        if edge_data {
+            assert!(
+                layout.weight_base.is_some(),
+                "program needs edge data but none is placed"
+            );
+        }
+        let source_status = program.reads_source_status();
+        let collect_activations = matches!(work, WorkList::Frontier(_));
+        Self {
+            graph,
+            layout,
+            strategy,
+            program,
+            work,
+            next_frontier,
+            pos: 0,
+            loaded_scratch: Vec::with_capacity(WARP_SIZE),
+            edge_data,
+            source_status,
+            collect_activations,
+        }
+    }
+
+    /// Task-start loads for vertex `v`: the two CSR offsets, and the own
+    /// status entry for programs that read it. Returns the neighbour
+    /// range and the captured context.
+    fn open_vertex(&mut self, v: VertexId, batch: &mut AccessBatch) -> (u64, u64, P::Ctx) {
+        batch.load(self.layout.vertex_addr(u64::from(v)), 8, Space::Device);
+        batch.load(self.layout.vertex_addr(u64::from(v) + 1), 8, Space::Device);
+        if self.source_status {
+            batch.load(self.layout.status_addr(u64::from(v)), 4, Space::Device);
+        }
+        let ctx = self.program.source_ctx(v);
+        (
+            self.graph.neighbor_start(v),
+            self.graph.neighbor_end(v),
+            ctx,
+        )
+    }
+
+    /// Process the semantics of edge-list element `i` from source `src`:
+    /// emit the destination-status gather, run the program's update, emit
+    /// the traffic of its effect. `instr` separates the gathers of
+    /// different loop iterations.
+    fn visit_edge(
+        &mut self,
+        i: u64,
+        src: VertexId,
+        ctx: P::Ctx,
+        instr: u8,
+        batch: &mut AccessBatch,
+    ) {
+        let dst = self.graph.edge_dst(i);
+        batch.load_instr(
+            self.layout.status_addr(u64::from(dst)),
+            4,
+            Space::Device,
+            instr,
+        );
+        match self.program.edge(i, src, dst, ctx) {
+            EdgeEffect::None => {}
+            EdgeEffect::UpdateDst { activate } => {
+                batch.store(self.layout.status_addr(u64::from(dst)), 4, Space::Device);
+                if activate && self.collect_activations {
+                    self.next_frontier.push(dst);
+                }
+            }
+            EdgeEffect::UpdateSrc => {
+                batch.store(self.layout.status_addr(u64::from(src)), 4, Space::Device);
+            }
+        }
+    }
+}
+
+impl<P: VertexProgram> Kernel for ProgramKernel<'_, P> {
+    type Task = ProgramTask<P::Ctx>;
+
+    fn next_task(&mut self) -> Option<Self::Task> {
+        let n = self.work.len();
+        if self.pos >= n {
+            return None;
+        }
+        if self.strategy.warp_per_vertex() {
+            let v = self.work.get(self.pos);
+            self.pos += 1;
+            Some(ProgramTask::Warp {
+                v,
+                ctx: None,
+                walk: None,
+            })
+        } else {
+            let hi = (self.pos + WARP_SIZE).min(n);
+            let vs: Vec<VertexId> = (self.pos..hi).map(|i| self.work.get(i)).collect();
+            self.pos = hi;
+            Some(ProgramTask::Lanes {
+                vs,
+                ctxs: Vec::new(),
+                walk: None,
+            })
+        }
+    }
+
+    fn step(&mut self, task: &mut Self::Task, batch: &mut AccessBatch) -> StepOutcome {
+        match task {
+            ProgramTask::Warp { v, ctx, walk } => {
+                let Some(w) = walk else {
+                    let (start, end, c) = self.open_vertex(*v, batch);
+                    *ctx = Some(c);
+                    if start == end {
+                        return StepOutcome::Done;
+                    }
+                    *walk = Some(WarpWalk::new(start, end, self.strategy, self.layout));
+                    return StepOutcome::Continue;
+                };
+                let (lo, hi) = w.emit_edges(self.layout, batch);
+                if self.edge_data {
+                    WarpWalk::emit_weights(self.layout, batch, lo, hi);
+                }
+                let c = ctx.expect("ctx captured at task start");
+                let src = *v;
+                for i in lo..hi {
+                    self.visit_edge(i, src, c, 128, batch);
+                }
+                if w.is_done() {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            }
+            ProgramTask::Lanes { vs, ctxs, walk } => {
+                let Some(w) = walk else {
+                    let mut ranges = Vec::with_capacity(vs.len());
+                    for &v in vs.iter() {
+                        let (start, end, c) = self.open_vertex(v, batch);
+                        ctxs.push(c);
+                        ranges.push((start, end));
+                    }
+                    let lw = LaneWalk::new(&ranges);
+                    if lw.is_done() {
+                        return StepOutcome::Done;
+                    }
+                    *walk = Some(lw);
+                    return StepOutcome::Continue;
+                };
+                let mut loaded = std::mem::take(&mut self.loaded_scratch);
+                loaded.clear();
+                w.emit_edges(self.layout, batch, &mut loaded);
+                if self.edge_data {
+                    LaneWalk::emit_weights(self.layout, batch, &loaded);
+                }
+                for &(i, iter) in &loaded {
+                    // Identify which lane (= which source vertex) the
+                    // element belongs to for the correct context.
+                    let lane = vs
+                        .iter()
+                        .position(|&v| {
+                            i >= self.graph.neighbor_start(v) && i < self.graph.neighbor_end(v)
+                        })
+                        .expect("element belongs to some lane");
+                    self.visit_edge(i, vs[lane], ctxs[lane], 128 + iter, batch);
+                }
+                let done = w.is_done();
+                self.loaded_scratch = loaded;
+                if done {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::BfsProgram;
+    use crate::layout::EdgePlacement;
+    use emogi_graph::{algo, generators, UNVISITED};
+    use emogi_runtime::machine::MachineConfig;
+    use emogi_runtime::{exec, Machine};
+
+    #[test]
+    fn worklists_enumerate_their_vertices() {
+        let f = [3u32, 9, 11];
+        let wl = WorkList::Frontier(&f);
+        assert_eq!(wl.len(), 3);
+        assert_eq!(wl.get(2), 11);
+        let all = WorkList::All(5);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all.get(4), 4);
+    }
+
+    /// Drive the generic kernel directly (no engine) through a full BFS,
+    /// for every strategy — the seam the engine builds on.
+    #[test]
+    fn generic_kernel_runs_a_program_standalone() {
+        for strategy in AccessStrategy::all() {
+            let g = generators::uniform_random(500, 6, 42);
+            let mut m = Machine::new(MachineConfig::v100_gen3());
+            let layout = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, false);
+            let mut prog = BfsProgram::new(&g, 3);
+            let mut frontier = vec![3u32];
+            while !frontier.is_empty() {
+                prog.begin_iteration();
+                let mut next = Vec::new();
+                let mut k = ProgramKernel::new(
+                    &g,
+                    &layout,
+                    strategy,
+                    &mut prog,
+                    WorkList::Frontier(&frontier),
+                    &mut next,
+                );
+                exec::run_kernel(&mut m, &mut k);
+                next.sort_unstable();
+                frontier = next;
+            }
+            let out = prog.finish();
+            assert_eq!(out.levels, algo::bfs_levels(&g, 3), "{strategy:?}");
+            assert!(m.monitor.read_requests > 0);
+            assert!(out.levels.contains(&UNVISITED) || !out.levels.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "edge data")]
+    fn edge_data_program_requires_placed_weights() {
+        use crate::sssp::SsspProgram;
+        let g = generators::uniform_random(50, 4, 1);
+        let w = vec![1u32; g.num_edges()];
+        let mut m = Machine::new(MachineConfig::v100_gen3());
+        // Placed *without* the weight array.
+        let layout = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, false);
+        let mut prog = SsspProgram::new(&g, &w, 0);
+        let frontier = vec![0u32];
+        let mut next = Vec::new();
+        let _ = ProgramKernel::new(
+            &g,
+            &layout,
+            AccessStrategy::MergedAligned,
+            &mut prog,
+            WorkList::Frontier(&frontier),
+            &mut next,
+        );
+    }
+}

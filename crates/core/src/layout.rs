@@ -6,8 +6,8 @@
 //! UVM baseline (§5.1.2) differs only in putting the edge list (and the
 //! weight list, for SSSP) into the managed space.
 
-use emogi_graph::CsrGraph;
 use emogi_gpu::access::Space;
+use emogi_graph::CsrGraph;
 use emogi_runtime::{Machine, RegionMap, HOST_BASE};
 
 /// Which memory mechanism serves the edge list.
@@ -68,7 +68,10 @@ impl GraphLayout {
         placement: EdgePlacement,
         with_weights: bool,
     ) -> GraphLayout {
-        assert!(elem_bytes == 4 || elem_bytes == 8, "CSR elements are 4 or 8 bytes");
+        assert!(
+            elem_bytes == 4 || elem_bytes == 8,
+            "CSR elements are 4 or 8 bytes"
+        );
         let edge_bytes = graph.num_edges() as u64 * elem_bytes;
         let weight_bytes = graph.num_edges() as u64 * 4;
         let (edge_base, weight_base) = match placement {

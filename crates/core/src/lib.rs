@@ -15,39 +15,65 @@
 //! The unoptimized **Naive** strategy (thread-per-vertex, Listing 1) is
 //! retained as the paper's own strawman.
 //!
+//! # Architecture: programs over an engine
+//!
+//! The crate is layered exactly the way the paper's contribution is
+//! algorithm-agnostic:
+//!
+//! * [`program`] — the [`VertexProgram`] trait: an algorithm declares its
+//!   access pattern (frontier-driven vs full-sweep), whether it streams
+//!   auxiliary edge data, and its per-edge / per-iteration logic;
+//! * [`kernel`] — one generic kernel ([`kernel::ProgramKernel`]) that
+//!   runs any program under any [`AccessStrategy`];
+//! * [`engine`] — the place-once, query-many [`Engine`]: it owns the
+//!   placed graph, machine and (hybrid mode) transfer manager, and runs
+//!   any number of programs against one placement;
+//! * [`bfs`] / [`sssp`] / [`cc`] / [`pagerank`] — the four shipped
+//!   programs. The first three are the paper's applications; PageRank is
+//!   the generality proof: a fourth program with zero driver, kernel or
+//!   transfer-planner changes.
+//!
 //! [`compressed`] adds the paper's §6 extension: traversal over
 //! delta-varint-compressed neighbour lists, trading idle-lane compute for
-//! interconnect bytes.
+//! interconnect bytes. [`toy`] reproduces the §3.3 microbenchmark behind
+//! Figures 3 and 4.
 //!
 //! # Example
 //!
 //! ```
-//! use emogi_core::{TraversalConfig, TraversalSystem};
+//! use emogi_core::{BfsProgram, Engine, EngineConfig};
 //! use emogi_graph::{algo, generators};
 //!
 //! let graph = generators::uniform_random(2_000, 8, 7);
-//! let mut emogi = TraversalSystem::new(TraversalConfig::emogi_v100(), &graph, None);
-//! let run = emogi.bfs(0);
+//! // Place the graph once ...
+//! let mut engine = Engine::load(EngineConfig::emogi_v100(), &graph);
+//! // ... then run any vertex program against the placement, repeatedly.
+//! let run = engine.run(BfsProgram::new(&graph, 0));
 //! assert_eq!(run.levels, algo::bfs_levels(&graph, 0));
 //! assert!(run.stats.avg_pcie_gbps > 0.0);
+//! let pr = engine.pagerank(0.85, 10);
+//! assert!((pr.ranks.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 //! ```
-//!
-//! All three strategies drive the same BFS / SSSP / CC kernels
-//! ([`bfs`], [`sssp`], [`cc`]) through [`traversal::TraversalSystem`],
-//! which also runs them against UVM-managed memory (the baseline) by
-//! changing nothing but the edge list's placement. [`toy`] reproduces the
-//! §3.3 microbenchmark behind Figures 3 and 4.
 
 pub mod bfs;
 pub mod cc;
 pub mod compressed;
+pub mod engine;
+pub mod kernel;
 pub mod layout;
+pub mod pagerank;
+pub mod program;
 pub mod sssp;
 pub mod strategy;
 pub mod toy;
-pub mod traversal;
 pub mod walk;
 
+pub use bfs::{BfsOutput, BfsProgram};
+pub use cc::{CcOutput, CcProgram};
+pub use engine::{BfsRun, CcRun, Engine, EngineConfig, PageRankRun, Run, SsspRun, TraversalConfig};
+pub use kernel::{ProgramKernel, WorkList};
 pub use layout::{EdgePlacement, GraphLayout};
+pub use pagerank::{PageRankOutput, PageRankProgram};
+pub use program::{AccessPattern, DeviceWork, EdgeEffect, VertexProgram};
+pub use sssp::{SsspOutput, SsspProgram};
 pub use strategy::{AccessMode, AccessStrategy};
-pub use traversal::{TraversalSystem, TraversalConfig};

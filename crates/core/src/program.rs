@@ -1,0 +1,221 @@
+//! The vertex-program abstraction: pluggable algorithms over one generic
+//! traversal engine.
+//!
+//! EMOGI's contribution is deliberately algorithm-agnostic — §4's merged
+//! / aligned zero-copy access pattern is applied uniformly to BFS, SSSP
+//! and CC. A [`VertexProgram`] captures exactly what *does* differ
+//! between those applications (and any new one):
+//!
+//! * its **access pattern** — [`AccessPattern::FrontierDriven`] programs
+//!   expand an active-vertex worklist per launch (BFS, SSSP), while
+//!   [`AccessPattern::FullSweep`] programs stream every neighbour list
+//!   every launch (CC, PageRank). The pattern is all the engine and the
+//!   hybrid transfer planner need to know — there are no per-algorithm
+//!   branches anywhere in the driver;
+//! * whether it reads **auxiliary edge data** in lock-step with the edge
+//!   list (SSSP's 4-byte weight stream, Table 2's `|w|` array). The data
+//!   itself is a program input, not an engine field;
+//! * whether a task reads its **own status entry** at start (SSSP's
+//!   distance, CC's label) or not (BFS);
+//! * its **per-edge logic** — the one real computation, expressed as a
+//!   state update plus an [`EdgeEffect`] describing the memory traffic it
+//!   caused;
+//! * its **per-iteration logic** — frontier seeding, iteration setup,
+//!   post-launch device-side work (CC's pointer-jumping shortcut,
+//!   PageRank's rank swap) and convergence.
+//!
+//! The engine ([`crate::engine::Engine`]) owns the placed graph, machine
+//! and transfer manager, and runs any program through one generic kernel
+//! ([`crate::kernel::ProgramKernel`]).
+//!
+//! # Writing a new algorithm
+//!
+//! A program that counts, per vertex, how many of its incoming edges come
+//! from the source's component — no engine, kernel or transfer-planner
+//! changes needed:
+//!
+//! ```
+//! use emogi_core::program::{AccessPattern, EdgeEffect, VertexProgram};
+//! use emogi_core::{Engine, EngineConfig};
+//! use emogi_graph::{generators, VertexId};
+//!
+//! /// Count every vertex's in-degree with one full edge-list sweep.
+//! struct InDegree {
+//!     counts: Vec<u32>,
+//!     done: bool,
+//! }
+//!
+//! impl VertexProgram for InDegree {
+//!     type Ctx = ();
+//!     type Output = Vec<u32>;
+//!
+//!     fn pattern(&self) -> AccessPattern {
+//!         AccessPattern::FullSweep
+//!     }
+//!     fn reads_source_status(&self) -> bool {
+//!         false
+//!     }
+//!     fn begin_iteration(&mut self) {
+//!         self.done = true; // one sweep suffices
+//!     }
+//!     fn source_ctx(&self, _v: VertexId) -> Self::Ctx {}
+//!     fn edge(&mut self, _i: u64, _src: VertexId, dst: VertexId, _ctx: ()) -> EdgeEffect {
+//!         self.counts[dst as usize] += 1;
+//!         EdgeEffect::UpdateDst { activate: false } // atomicAdd on the status entry
+//!     }
+//!     fn converged(&self) -> bool {
+//!         self.done
+//!     }
+//!     fn finish(self) -> Vec<u32> {
+//!         self.counts
+//!     }
+//! }
+//!
+//! let g = generators::uniform_random(300, 4, 7);
+//! let mut engine = Engine::load(EngineConfig::emogi_v100(), &g);
+//! let run = engine.run(InDegree { counts: vec![0; g.num_vertices()], done: false });
+//! let total: u64 = run.output.iter().map(|&c| u64::from(c)).sum();
+//! assert_eq!(total, g.num_edges() as u64);
+//! ```
+
+use emogi_graph::VertexId;
+
+/// How a program drives the engine's launch loop — and, equally, how the
+/// hybrid transfer planner predicts the next launch's edge-list reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Per launch, only the active vertices' neighbour lists are read;
+    /// the program seeds the first frontier and activates vertices via
+    /// [`EdgeEffect::UpdateDst`]. The engine stops when a launch
+    /// activates nothing.
+    FrontierDriven,
+    /// Every launch streams every vertex's neighbour list ("all vertices
+    /// are set as root vertices and the entire edge list is traversed",
+    /// §5.4). The engine stops when [`VertexProgram::converged`] holds.
+    FullSweep,
+}
+
+/// What a program's per-edge update did, so the generic kernel can emit
+/// the matching device-memory traffic. The destination-status gather is
+/// always emitted before the program sees the edge; the effect only adds
+/// the (conditional) store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeEffect {
+    /// No state changed: the gather was read, nothing written.
+    None,
+    /// The destination's status entry was written (BFS discovery, SSSP
+    /// relaxation, PageRank's atomicAdd). `activate` puts the destination
+    /// on the next frontier; full-sweep launches re-enumerate every
+    /// vertex anyway, so they ignore it.
+    UpdateDst { activate: bool },
+    /// The *source's* status entry was written — CC's hook adopts the
+    /// smaller neighbour label into the source.
+    UpdateSrc,
+}
+
+/// Device-side work a program performs between kernel launches, outside
+/// the edge-streaming kernels: bulk sweeps over device-resident arrays
+/// (CC's pointer-jumping passes, PageRank's rank update). The engine
+/// charges each sweep against the machine's HBM clock.
+#[derive(Debug, Default)]
+pub struct DeviceWork {
+    bulk_reads: Vec<u64>,
+}
+
+impl DeviceWork {
+    /// Charge one bulk HBM sweep of `bytes`.
+    pub fn bulk_read(&mut self, bytes: u64) {
+        self.bulk_reads.push(bytes);
+    }
+
+    pub(crate) fn drain(&mut self) -> impl Iterator<Item = u64> + '_ {
+        self.bulk_reads.drain(..)
+    }
+}
+
+/// A pluggable traversal algorithm. See the [module docs](self) for the
+/// contract and a worked example of adding a new one.
+///
+/// The engine calls, per run:
+///
+/// ```text
+/// initial_frontier()                 (frontier-driven only)
+/// loop {
+///     begin_iteration()
+///     — kernel launch: per task  source_ctx(v), then per edge  edge(..) —
+///     post_iteration(work)
+/// } until the frontier empties / converged()
+/// finish()
+/// ```
+pub trait VertexProgram {
+    /// Per-source context captured once at task start (e.g. SSSP's
+    /// distance of the source at launch time, PageRank's out-contribution)
+    /// and handed to every [`edge`](Self::edge) call of that task.
+    type Ctx: Copy;
+    /// What [`finish`](Self::finish) extracts after convergence.
+    type Output;
+
+    /// Frontier-driven or full-sweep (drives the launch loop *and* the
+    /// hybrid transfer planning).
+    fn pattern(&self) -> AccessPattern;
+
+    /// Does the program read a 4-byte auxiliary edge-data stream (SSSP's
+    /// weights) in lock-step with the edge list? The engine places the
+    /// array on demand; the data itself lives in the program.
+    fn uses_edge_data(&self) -> bool {
+        false
+    }
+
+    /// Does a task read its own vertex's status entry at start (SSSP, CC,
+    /// PageRank) or only its CSR offsets (BFS)?
+    fn reads_source_status(&self) -> bool;
+
+    /// Seed frontier for frontier-driven programs (ignored for full
+    /// sweeps). May contain duplicates; the engine sorts and dedups.
+    fn initial_frontier(&self) -> Vec<VertexId> {
+        Vec::new()
+    }
+
+    /// Called before every kernel launch (BFS bumps its level, CC clears
+    /// its changed flag, PageRank snapshots contributions).
+    fn begin_iteration(&mut self) {}
+
+    /// Capture the per-source context at task start. Called after the
+    /// task's offset/status loads are emitted.
+    fn source_ctx(&self, v: VertexId) -> Self::Ctx;
+
+    /// Process edge-list element `i` (`src → dst`, with the source's
+    /// captured context) and report what the update did. The kernel has
+    /// already emitted the destination-status gather; it emits the store
+    /// (and frontier push) the returned effect asks for.
+    fn edge(&mut self, i: u64, src: VertexId, dst: VertexId, ctx: Self::Ctx) -> EdgeEffect;
+
+    /// Device-side work after a launch (before the convergence check).
+    fn post_iteration(&mut self, work: &mut DeviceWork) {
+        let _ = work;
+    }
+
+    /// Full-sweep convergence, checked after
+    /// [`post_iteration`](Self::post_iteration). Frontier-driven programs
+    /// converge by emptying their frontier instead.
+    fn converged(&self) -> bool {
+        true
+    }
+
+    /// Extract the result.
+    fn finish(self) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_work_drains_in_order() {
+        let mut w = DeviceWork::default();
+        w.bulk_read(64);
+        w.bulk_read(128);
+        assert_eq!(w.drain().collect::<Vec<_>>(), vec![64, 128]);
+        assert_eq!(w.drain().count(), 0, "drained");
+    }
+}

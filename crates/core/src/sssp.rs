@@ -1,222 +1,104 @@
-//! Single-source shortest path kernel (Bellman-Ford style with an active
-//! worklist, the standard GPU formulation the paper bases its SSSP on
-//! [28, 37]).
+//! Single-source shortest paths as a [`VertexProgram`] (Bellman-Ford
+//! style with an active worklist, the standard GPU formulation the paper
+//! bases its SSSP on [28, 37]).
 //!
 //! Per iteration, every active vertex relaxes its outgoing edges; a
 //! vertex whose distance improves becomes active for the next iteration.
 //! Two zero-copy streams are read in lock-step: the 8-byte edge list and
-//! the 4-byte weight list (Table 2's separate `|w|` array).
+//! the 4-byte weight list (Table 2's separate `|w|` array) — SSSP is the
+//! program that declares [`VertexProgram::uses_edge_data`], and the
+//! weights are its own input rather than an engine field.
 
-use crate::layout::GraphLayout;
-use crate::strategy::AccessStrategy;
-use crate::walk::{LaneWalk, WarpWalk};
+use crate::program::{AccessPattern, EdgeEffect, VertexProgram};
 use emogi_graph::{CsrGraph, VertexId};
-use emogi_gpu::access::{AccessBatch, Space, WARP_SIZE};
-use emogi_runtime::{Kernel, StepOutcome};
 
 /// Distance marker for unreached vertices (4-byte device entries).
 pub const INF: u32 = u32::MAX;
 
-/// One SSSP relaxation pass.
-pub struct SsspKernel<'a> {
-    pub graph: &'a CsrGraph,
-    pub weights: &'a [u32],
-    pub layout: &'a GraphLayout,
-    pub strategy: AccessStrategy,
-    /// Device-resident distance array (semantic copy).
-    pub dist: &'a mut [u32],
-    pub frontier: &'a [VertexId],
-    pub next_frontier: &'a mut Vec<VertexId>,
-    pos: usize,
-    loaded_scratch: Vec<(u64, u8)>,
+/// SSSP result: per-vertex distances ([`INF`] when unreachable).
+#[derive(Debug, Clone)]
+pub struct SsspOutput {
+    pub dist: Vec<u32>,
 }
 
-impl<'a> SsspKernel<'a> {
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        graph: &'a CsrGraph,
-        weights: &'a [u32],
-        layout: &'a GraphLayout,
-        strategy: AccessStrategy,
-        dist: &'a mut [u32],
-        frontier: &'a [VertexId],
-        next_frontier: &'a mut Vec<VertexId>,
-    ) -> Self {
-        assert_eq!(weights.len(), graph.num_edges());
-        assert!(layout.weight_base.is_some(), "SSSP layout needs weights");
-        Self {
-            graph,
-            weights,
-            layout,
-            strategy,
-            dist,
-            frontier,
-            next_frontier,
-            pos: 0,
-            loaded_scratch: Vec::with_capacity(WARP_SIZE),
-        }
+/// The SSSP vertex program. Per-vertex state: the device-resident
+/// distance array (semantic copy); auxiliary edge data: the weight
+/// stream.
+pub struct SsspProgram<'w> {
+    src: VertexId,
+    weights: &'w [u32],
+    dist: Vec<u32>,
+}
+
+impl<'w> SsspProgram<'w> {
+    pub fn new(graph: &CsrGraph, weights: &'w [u32], src: VertexId) -> Self {
+        assert_eq!(weights.len(), graph.num_edges(), "one weight per edge");
+        let mut dist = vec![INF; graph.num_vertices()];
+        dist[src as usize] = 0;
+        Self { src, weights, dist }
+    }
+}
+
+impl VertexProgram for SsspProgram<'_> {
+    /// The source's distance at task start.
+    type Ctx = u32;
+    type Output = SsspOutput;
+
+    fn pattern(&self) -> AccessPattern {
+        AccessPattern::FrontierDriven
     }
 
-    /// Relax edge-list element `i` from a source whose distance is
-    /// `dist_v` at task start.
-    fn relax_edge(&mut self, i: u64, dist_v: u32, instr: u8, batch: &mut AccessBatch) {
-        let dst = self.graph.edge_dst(i);
-        batch.load_instr(self.layout.status_addr(u64::from(dst)), 4, Space::Device, instr);
+    fn uses_edge_data(&self) -> bool {
+        true
+    }
+
+    fn reads_source_status(&self) -> bool {
+        true
+    }
+
+    fn initial_frontier(&self) -> Vec<VertexId> {
+        vec![self.src]
+    }
+
+    fn source_ctx(&self, v: VertexId) -> u32 {
+        self.dist[v as usize]
+    }
+
+    fn edge(&mut self, i: u64, _src: VertexId, dst: VertexId, dist_v: u32) -> EdgeEffect {
         let nd = dist_v.saturating_add(self.weights[i as usize]);
         if nd < self.dist[dst as usize] {
             // atomicMin on the device distance array.
             self.dist[dst as usize] = nd;
-            batch.store(self.layout.status_addr(u64::from(dst)), 4, Space::Device);
-            self.next_frontier.push(dst);
-        }
-    }
-}
-
-#[allow(clippy::large_enum_variant)]
-pub enum SsspTask {
-    Warp {
-        v: VertexId,
-        dist_v: u32,
-        walk: Option<WarpWalk>,
-    },
-    Lanes {
-        vs: Vec<VertexId>,
-        dists: Vec<u32>,
-        walk: Option<LaneWalk>,
-    },
-}
-
-impl Kernel for SsspKernel<'_> {
-    type Task = SsspTask;
-
-    fn next_task(&mut self) -> Option<SsspTask> {
-        if self.pos >= self.frontier.len() {
-            return None;
-        }
-        if self.strategy.warp_per_vertex() {
-            let v = self.frontier[self.pos];
-            self.pos += 1;
-            Some(SsspTask::Warp {
-                v,
-                dist_v: 0,
-                walk: None,
-            })
+            EdgeEffect::UpdateDst { activate: true }
         } else {
-            let chunk = &self.frontier[self.pos..(self.pos + WARP_SIZE).min(self.frontier.len())];
-            self.pos += chunk.len();
-            Some(SsspTask::Lanes {
-                vs: chunk.to_vec(),
-                dists: Vec::new(),
-                walk: None,
-            })
+            EdgeEffect::None
         }
     }
 
-    fn step(&mut self, task: &mut SsspTask, batch: &mut AccessBatch) -> StepOutcome {
-        match task {
-            SsspTask::Warp { v, dist_v, walk } => {
-                let Some(w) = walk else {
-                    batch.load(self.layout.vertex_addr(u64::from(*v)), 8, Space::Device);
-                    batch.load(self.layout.vertex_addr(u64::from(*v) + 1), 8, Space::Device);
-                    batch.load(self.layout.status_addr(u64::from(*v)), 4, Space::Device);
-                    *dist_v = self.dist[*v as usize];
-                    let (start, end) = (self.graph.neighbor_start(*v), self.graph.neighbor_end(*v));
-                    if start == end {
-                        return StepOutcome::Done;
-                    }
-                    *walk = Some(WarpWalk::new(start, end, self.strategy, self.layout));
-                    return StepOutcome::Continue;
-                };
-                let (lo, hi) = w.emit_edges(self.layout, batch);
-                WarpWalk::emit_weights(self.layout, batch, lo, hi);
-                let dv = *dist_v;
-                for i in lo..hi {
-                    self.relax_edge(i, dv, 128, batch);
-                }
-                if w.is_done() {
-                    StepOutcome::Done
-                } else {
-                    StepOutcome::Continue
-                }
-            }
-            SsspTask::Lanes { vs, dists, walk } => {
-                let Some(w) = walk else {
-                    let mut ranges = Vec::with_capacity(vs.len());
-                    for &v in vs.iter() {
-                        batch.load(self.layout.vertex_addr(u64::from(v)), 8, Space::Device);
-                        batch.load(self.layout.vertex_addr(u64::from(v) + 1), 8, Space::Device);
-                        batch.load(self.layout.status_addr(u64::from(v)), 4, Space::Device);
-                        dists.push(self.dist[v as usize]);
-                        ranges.push((self.graph.neighbor_start(v), self.graph.neighbor_end(v)));
-                    }
-                    let lw = LaneWalk::new(&ranges);
-                    if lw.is_done() {
-                        return StepOutcome::Done;
-                    }
-                    *walk = Some(lw);
-                    return StepOutcome::Continue;
-                };
-                let mut loaded = std::mem::take(&mut self.loaded_scratch);
-                loaded.clear();
-                w.emit_edges(self.layout, batch, &mut loaded);
-                LaneWalk::emit_weights(self.layout, batch, &loaded);
-                for &(i, iter) in &loaded {
-                    // Identify which lane (= which source vertex) the
-                    // element belongs to for the correct base distance.
-                    let lane = vs
-                        .iter()
-                        .position(|&v| {
-                            i >= self.graph.neighbor_start(v) && i < self.graph.neighbor_end(v)
-                        })
-                        .expect("element belongs to some lane");
-                    self.relax_edge(i, dists[lane], 128 + iter, batch);
-                }
-                let done = w.is_done();
-                self.loaded_scratch = loaded;
-                if done {
-                    StepOutcome::Done
-                } else {
-                    StepOutcome::Continue
-                }
-            }
-        }
+    fn finish(self) -> SsspOutput {
+        SsspOutput { dist: self.dist }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layout::EdgePlacement;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::strategy::AccessStrategy;
     use emogi_graph::datasets::generate_weights;
     use emogi_graph::{algo, generators};
-    use emogi_runtime::machine::MachineConfig;
-    use emogi_runtime::{exec, Machine};
 
-    fn sssp_via_kernel(strategy: AccessStrategy, seed: u64) {
+    fn sssp_via_engine(strategy: AccessStrategy, seed: u64) {
         let g = generators::uniform_random(400, 6, seed);
         let w = generate_weights(g.num_edges(), seed);
-        let mut m = Machine::new(MachineConfig::v100_gen3());
-        let layout = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, true);
-        let mut dist = vec![INF; g.num_vertices()];
-        dist[7] = 0;
-        let mut frontier = vec![7u32];
-        let mut guard = 0;
-        while !frontier.is_empty() {
-            guard += 1;
-            assert!(guard < 10_000, "SSSP failed to converge");
-            let mut next = Vec::new();
-            let mut k = SsspKernel::new(&g, &w, &layout, strategy, &mut dist, &frontier, &mut next);
-            exec::run_kernel(&mut m, &mut k);
-            next.sort_unstable();
-            next.dedup();
-            frontier = next;
-        }
+        let mut engine = Engine::load(EngineConfig::emogi_v100().with_strategy(strategy), &g);
+        let run = engine.sssp(&w, 7);
         let expect = algo::sssp_distances(&g, &w, 7);
         for (v, &want) in expect.iter().enumerate() {
-            let got = if dist[v] == INF {
+            let got = if run.dist[v] == INF {
                 algo::UNREACHABLE
             } else {
-                u64::from(dist[v])
+                u64::from(run.dist[v])
             };
             assert_eq!(got, want, "vertex {v}, {strategy:?}");
         }
@@ -224,42 +106,39 @@ mod tests {
 
     #[test]
     fn merged_aligned_matches_dijkstra() {
-        sssp_via_kernel(AccessStrategy::MergedAligned, 1);
+        sssp_via_engine(AccessStrategy::MergedAligned, 1);
     }
 
     #[test]
     fn merged_matches_dijkstra() {
-        sssp_via_kernel(AccessStrategy::Merged, 2);
+        sssp_via_engine(AccessStrategy::Merged, 2);
     }
 
     #[test]
     fn naive_matches_dijkstra() {
-        sssp_via_kernel(AccessStrategy::Naive, 3);
+        sssp_via_engine(AccessStrategy::Naive, 3);
     }
 
     #[test]
     fn weight_stream_reads_both_arrays() {
         let g = generators::uniform_random(300, 8, 9);
         let w = generate_weights(g.num_edges(), 9);
-        let mut m = Machine::new(MachineConfig::v100_gen3());
-        let layout = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, true);
-        let mut dist = vec![INF; g.num_vertices()];
-        dist[0] = 0;
-        let frontier = vec![0u32];
-        let mut next = Vec::new();
-        let mut k = SsspKernel::new(
-            &g,
-            &w,
-            &layout,
-            AccessStrategy::MergedAligned,
-            &mut dist,
-            &frontier,
-            &mut next,
-        );
-        exec::run_kernel(&mut m, &mut k);
-        // Edge bytes (8 B) + weight bytes (4 B) for the source's list, at
-        // sector granularity: at least 12 bytes per neighbour.
-        let deg = g.degree(0);
-        assert!(m.monitor.zero_copy_bytes >= deg * 12);
+        let mut engine = Engine::load(EngineConfig::emogi_v100(), &g);
+        let run = engine.sssp(&w, 0);
+        // Edge bytes (8 B) + weight bytes (4 B) for every reachable
+        // neighbour list, at sector granularity: at least 12 bytes per
+        // relaxed edge.
+        let reachable_edges: u64 = (0..g.num_vertices() as u32)
+            .filter(|&v| run.dist[v as usize] != INF)
+            .map(|v| g.degree(v))
+            .sum();
+        assert!(run.stats.host_bytes >= reachable_edges * 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per edge")]
+    fn wrong_weight_count_rejected() {
+        let g = generators::uniform_random(100, 4, 1);
+        let _ = SsspProgram::new(&g, &[1, 2, 3], 0);
     }
 }

@@ -89,7 +89,11 @@ impl Kernel for ToyKernel {
                     let addr = self.src_base + *base + lane * 128 + *step * ELEM;
                     if addr < self.src_base + self.array_bytes {
                         batch.load(addr, ELEM as u8, self.src_space);
-                        batch.store(self.dst_base + *base + lane * 128 + *step * ELEM, ELEM as u8, Space::Device);
+                        batch.store(
+                            self.dst_base + *base + lane * 128 + *step * ELEM,
+                            ELEM as u8,
+                            Space::Device,
+                        );
                     }
                 }
                 *step += 1;
@@ -141,7 +145,11 @@ pub struct ToyRun {
 }
 
 /// Run one zero-copy toy pattern over a fresh machine.
-pub fn run_zero_copy(machine_cfg: emogi_runtime::MachineConfig, pattern: ToyPattern, array_bytes: u64) -> ToyRun {
+pub fn run_zero_copy(
+    machine_cfg: emogi_runtime::MachineConfig,
+    pattern: ToyPattern,
+    array_bytes: u64,
+) -> ToyRun {
     let mut m = Machine::new(machine_cfg);
     // Reserve a misalignment shift's worth of slack at the end.
     let src = m.alloc_host_pinned(array_bytes + 128);
@@ -214,18 +222,30 @@ mod tests {
     #[test]
     fn strided_pattern_is_all_32_byte_requests() {
         let r = run_zero_copy(MachineConfig::v100_gen3(), ToyPattern::Strided, 2 * MIB);
-        assert!(r.stats.request_sizes.fraction(32) > 0.99, "{:?}", r.stats.request_sizes);
+        assert!(
+            r.stats.request_sizes.fraction(32) > 0.99,
+            "{:?}",
+            r.stats.request_sizes
+        );
     }
 
     #[test]
     fn aligned_pattern_is_all_128_byte_requests() {
-        let r = run_zero_copy(MachineConfig::v100_gen3(), ToyPattern::MergedAligned, 2 * MIB);
+        let r = run_zero_copy(
+            MachineConfig::v100_gen3(),
+            ToyPattern::MergedAligned,
+            2 * MIB,
+        );
         assert!(r.stats.request_sizes.fraction(128) > 0.99);
     }
 
     #[test]
-    fn misaligned_pattern_is_96_plus_32(){
-        let r = run_zero_copy(MachineConfig::v100_gen3(), ToyPattern::MergedMisaligned, 2 * MIB);
+    fn misaligned_pattern_is_96_plus_32() {
+        let r = run_zero_copy(
+            MachineConfig::v100_gen3(),
+            ToyPattern::MergedMisaligned,
+            2 * MIB,
+        );
         let h = &r.stats.request_sizes;
         assert!(h.fraction(96) > 0.45, "{h:?}");
         assert!(h.fraction(32) > 0.45, "{h:?}");

@@ -162,7 +162,11 @@ mod tests {
         let (lo, hi) = w.emit_edges(&l, &mut b);
         // The first chunk is the aligned 16..48 window clipped to the list.
         assert_eq!((lo, hi), (19, 40));
-        assert_eq!(b.len(), (40 - 19) as usize, "lanes 16..19 masked, 40..48 beyond end");
+        assert_eq!(
+            b.len(),
+            (40 - 19) as usize,
+            "lanes 16..19 masked, 40..48 beyond end"
+        );
         // First load address is element 19, but the *chunk* covers the
         // aligned line; the coalescer sees loads from 19 to 39.
         assert_eq!(b.items()[0].addr, l.edge_addr(19));

@@ -144,7 +144,10 @@ mod tests {
     #[test]
     fn constructors_set_fields() {
         let l = LaneAccess::load(16, 8, Space::Managed);
-        assert_eq!((l.addr, l.size, l.space, l.store), (16, 8, Space::Managed, false));
+        assert_eq!(
+            (l.addr, l.size, l.space, l.store),
+            (16, 8, Space::Managed, false)
+        );
         let s = LaneAccess::store(32, 4, Space::Device);
         assert!(s.store);
     }

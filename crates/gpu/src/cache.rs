@@ -237,7 +237,10 @@ mod tests {
         c.fill(0, 0b1111); // set 0
         c.fill(128, 0b1111); // set 1
         c.fill(256, 0b1111); // set 0
-        assert!(c.contains(128, 0b1111), "other set untouched by set-0 fills");
+        assert!(
+            c.contains(128, 0b1111),
+            "other set untouched by set-0 fills"
+        );
     }
 
     #[test]

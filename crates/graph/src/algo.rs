@@ -83,6 +83,41 @@ pub fn cc_labels(g: &CsrGraph) -> Vec<u32> {
     (0..n as u32).map(|v| find(&mut parent, v)).collect()
 }
 
+/// PageRank by damped power iteration (push formulation): per sweep,
+/// every vertex pushes `rank[v] / outdeg(v)` along its outgoing edges;
+/// dangling vertices (no outgoing edges) redistribute their mass
+/// uniformly, so ranks always sum to 1. The GPU program
+/// (`emogi_core::PageRankProgram`) implements exactly this recurrence;
+/// only floating-point accumulation order differs, so comparisons use a
+/// small epsilon rather than exact equality.
+pub fn pagerank(g: &CsrGraph, damping: f64, iterations: u32) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
+    let n = g.num_vertices();
+    assert!(n > 0, "PageRank needs a non-empty graph");
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0;
+        for v in 0..n as u32 {
+            let deg = g.degree(v);
+            if deg == 0 {
+                dangling += rank[v as usize];
+                continue;
+            }
+            let contrib = rank[v as usize] / deg as f64;
+            for &dst in g.neighbors(v) {
+                next[dst as usize] += contrib;
+            }
+        }
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        for v in 0..n {
+            rank[v] = base + damping * next[v];
+        }
+    }
+    rank
+}
+
 /// Eccentricity-ish helper: number of BFS levels from `src` (the paper's
 /// kernel-launch count for BFS, §4.2).
 pub fn bfs_depth(g: &CsrGraph, src: VertexId) -> u32 {
@@ -167,6 +202,48 @@ mod tests {
                 let reachable = from0[v] != UNVISITED;
                 assert_eq!(same_cc, reachable, "vertex {v}, seed {seed}");
             }
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_favors_hubs() {
+        // Star graph: 0 <-> everyone. The hub must dominate.
+        let mut b = EdgeListBuilder::new(6).symmetrize(true);
+        for v in 1..6 {
+            b.push(0, v);
+        }
+        let g = b.build();
+        let r = pagerank(&g, 0.85, 30);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum {sum}");
+        for v in 1..6 {
+            assert!(r[0] > r[v], "hub must outrank leaf {v}");
+            assert!((r[v] - r[1]).abs() < 1e-12, "leaves are symmetric");
+        }
+    }
+
+    #[test]
+    fn pagerank_redistributes_dangling_mass() {
+        // 0 -> 1, 1 dangling: without redistribution the sum decays.
+        let mut b = EdgeListBuilder::new(2);
+        b.push(0, 1);
+        let g = b.build();
+        let r = pagerank(&g, 0.85, 50);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum {sum}");
+        assert!(r[1] > r[0], "1 receives 0's mass plus its teleport share");
+    }
+
+    #[test]
+    fn pagerank_uniform_on_a_cycle() {
+        let mut b = EdgeListBuilder::new(5);
+        for v in 0..5u32 {
+            b.push(v, (v + 1) % 5);
+        }
+        let g = b.build();
+        let r = pagerank(&g, 0.85, 40);
+        for &rv in &r {
+            assert!((rv - 0.2).abs() < 1e-12, "cycle is rank-uniform, got {rv}");
         }
     }
 

@@ -116,7 +116,10 @@ mod tests {
             assert!(c >= prev - 1e-12, "CDF must be monotone");
             prev = c;
         }
-        assert!((cdf.cdf_at(96) - 1.0).abs() < 1e-12, "last bucket absorbs the tail");
+        assert!(
+            (cdf.cdf_at(96) - 1.0).abs() < 1e-12,
+            "last bucket absorbs the tail"
+        );
     }
 
     #[test]

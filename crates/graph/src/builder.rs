@@ -156,10 +156,7 @@ mod tests {
         // that is inconsistent with its own 14-entry edge list (vertex 3
         // has neighbours {1,4}); the self-consistent offsets are below.
         assert_eq!(g.offsets(), &[0, 2, 6, 9, 11, 14]);
-        assert_eq!(
-            g.edge_list(),
-            &[1, 2, 0, 2, 3, 4, 0, 1, 4, 1, 4, 1, 2, 3]
-        );
+        assert_eq!(g.edge_list(), &[1, 2, 0, 2, 3, 4, 0, 1, 4, 1, 4, 1, 2, 3]);
         assert!(g.is_undirected());
     }
 

@@ -50,7 +50,12 @@ impl DatasetKey {
 
     /// The four undirected graphs the paper evaluates CC on (§5.4).
     pub fn undirected() -> [DatasetKey; 4] {
-        [DatasetKey::Gk, DatasetKey::Gu, DatasetKey::Fs, DatasetKey::Ml]
+        [
+            DatasetKey::Gk,
+            DatasetKey::Gu,
+            DatasetKey::Fs,
+            DatasetKey::Ml,
+        ]
     }
 
     pub fn spec(self) -> DatasetSpec {
@@ -271,7 +276,11 @@ mod tests {
         let ml = DatasetKey::Ml.spec().generate_scaled(16);
         let gu = DatasetKey::Gu.spec().generate_scaled(16);
         assert!(ml.graph.average_degree() > 3.0 * gu.graph.average_degree());
-        assert!(!DatasetKey::Sk.spec().generate_scaled(16).graph.is_undirected());
+        assert!(!DatasetKey::Sk
+            .spec()
+            .generate_scaled(16)
+            .graph
+            .is_undirected());
     }
 
     #[test]

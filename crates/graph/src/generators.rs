@@ -100,8 +100,8 @@ pub fn lognormal_dense(
 ) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mu = median_degree.ln();
-    let mut b = EdgeListBuilder::with_capacity(n, (n as f64 * median_degree) as usize)
-        .symmetrize(true);
+    let mut b =
+        EdgeListBuilder::with_capacity(n, (n as f64 * median_degree) as usize).symmetrize(true);
     for src in 0..n as VertexId {
         // Box–Muller for a standard normal.
         let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(1e-12), rng.gen());
@@ -204,12 +204,13 @@ mod tests {
         let mean_dist: f64 = g
             .edge_list()
             .iter()
-            .zip((0..g.num_vertices() as u32).flat_map(|v| {
-                std::iter::repeat_n(v, g.degree(v) as usize)
-            }))
+            .zip(
+                (0..g.num_vertices() as u32)
+                    .flat_map(|v| std::iter::repeat_n(v, g.degree(v) as usize)),
+            )
             .map(|(&d, s)| (f64::from(d) - f64::from(s)).abs())
             .sum::<f64>()
-                / g.num_edges() as f64;
+            / g.num_edges() as f64;
         assert!(mean_dist > n / 5.0, "mean id distance {mean_dist}");
     }
 

@@ -163,7 +163,9 @@ impl<K: Kernel> Executor<'_, K> {
     fn seed(&mut self, start: Time) {
         let max_warps = self.m.cfg.gpu.resident_warps as usize;
         for i in 0..max_warps {
-            let Some(task) = self.kernel.next_task() else { break };
+            let Some(task) = self.kernel.next_task() else {
+                break;
+            };
             self.slots.push(Slot {
                 task: Some(task),
                 outstanding: 0,
@@ -271,7 +273,10 @@ impl<K: Kernel> Executor<'_, K> {
 
     /// Pinned-host access: cache, then MSHR merge, then a PCIe read.
     fn access_host(&mut self, w: u32, txn: &Transaction, at: Time) {
-        debug_assert!(!txn.store, "the evaluated kernels never store to host memory");
+        debug_assert!(
+            !txn.store,
+            "the evaluated kernels never store to host memory"
+        );
         self.report.host_txns += 1;
         let line = txn.line();
         let mask = txn.sector_mask();
@@ -432,9 +437,16 @@ impl<K: Kernel> Executor<'_, K> {
     /// Managed-space access: resident pages behave like device memory;
     /// non-resident pages stall the warp behind the fault handler.
     fn access_managed(&mut self, w: u32, txn: &Transaction, at: Time) {
-        debug_assert!(!txn.store, "the evaluated kernels never store to managed memory");
+        debug_assert!(
+            !txn.store,
+            "the evaluated kernels never store to managed memory"
+        );
         self.report.managed_txns += 1;
-        let uvm = self.m.uvm.as_mut().expect("managed access without UVM init");
+        let uvm = self
+            .m
+            .uvm
+            .as_mut()
+            .expect("managed access without UVM init");
         let first_page = uvm.page_of(txn.addr);
         let last_page = uvm.page_of(txn.addr + u64::from(txn.size) - 1);
         let mut faulted = false;
@@ -471,11 +483,10 @@ impl<K: Kernel> Executor<'_, K> {
         while miss != 0 {
             let first = miss.trailing_zeros() as u64;
             let run = (miss >> first).trailing_ones() as u64;
-            let done = self.m.hbm.read(
-                at,
-                line + first * SECTOR_BYTES,
-                (run * SECTOR_BYTES) as u32,
-            );
+            let done =
+                self.m
+                    .hbm
+                    .read(at, line + first * SECTOR_BYTES, (run * SECTOR_BYTES) as u32);
             self.m.cache.fill(line, run_mask(first, run));
             let slot = &mut self.slots[w as usize];
             slot.resume_at = slot.resume_at.max(done);
@@ -702,7 +713,13 @@ mod tests {
                 StepOutcome::Done
             }
         }
-        run_kernel(&mut m, &mut DevKernel { base, issued: false });
+        run_kernel(
+            &mut m,
+            &mut DevKernel {
+                base,
+                issued: false,
+            },
+        );
         assert_eq!(m.monitor.read_requests, 0);
         assert!(m.hbm.bytes_read > 0);
         assert!(m.hbm.bytes_written > 0);
@@ -742,10 +759,17 @@ mod tests {
         }
         let mut k = ManagedKernel { inner: mk(base) };
         let r = run_kernel(&mut m, &mut k);
-        assert!(r.page_faults >= 2, "two pages must fault, got {}", r.page_faults);
+        assert!(
+            r.page_faults >= 2,
+            "two pages must fault, got {}",
+            r.page_faults
+        );
         let uvm = m.uvm.as_ref().unwrap();
         assert!(uvm.stats.pages_migrated >= 2);
-        assert_eq!(m.monitor.read_requests, 0, "managed reads are migrations, not zero-copy");
+        assert_eq!(
+            m.monitor.read_requests, 0,
+            "managed reads are migrations, not zero-copy"
+        );
         assert!(m.monitor.dma_bytes >= 8192);
 
         // Second pass: pages resident, no new faults.
@@ -779,7 +803,13 @@ mod tests {
                 StepOutcome::Done
             }
         }
-        let r = run_kernel(&mut m, &mut WideKernel { base, issued: false });
+        let r = run_kernel(
+            &mut m,
+            &mut WideKernel {
+                base,
+                issued: false,
+            },
+        );
         assert_eq!(m.monitor.read_requests, 32, "all 32 strided reads issued");
         assert_eq!(r.tasks, 1);
     }
@@ -831,7 +861,10 @@ mod tests {
             uvm.stats.pages_migrated
         );
         assert!(r.page_faults > 4);
-        assert_eq!(m.monitor.read_requests, 0, "no zero-copy traffic in a UVM sweep");
+        assert_eq!(
+            m.monitor.read_requests, 0,
+            "no zero-copy traffic in a UVM sweep"
+        );
     }
 
     #[test]
@@ -839,7 +872,9 @@ mod tests {
         let mut m = machine();
         let base = m.alloc_host_pinned(1 << 16);
         let mut k = StreamKernel {
-            ranges: (0..4).map(|i| (base + i * 8192, base + (i + 1) * 8192)).collect(),
+            ranges: (0..4)
+                .map(|i| (base + i * 8192, base + (i + 1) * 8192))
+                .collect(),
             next: 0,
             elem: 8,
             sum_steps: 0,

@@ -27,5 +27,5 @@ pub mod util;
 pub use alloc::{AddressSpaces, DEVICE_BASE, HOST_BASE, MANAGED_BASE};
 pub use exec::{Kernel, StepOutcome};
 pub use machine::{Machine, MachineConfig};
-pub use report::KernelReport;
+pub use report::{KernelReport, RunStats};
 pub use transfer::{RegionMap, TransferConfig, TransferManager, TransferStats};

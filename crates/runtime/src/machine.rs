@@ -211,8 +211,8 @@ impl Machine {
             .as_ref()
             .map(|u| (u.stats.faults, u.stats.pages_migrated))
             .unwrap_or((0, 0));
-        let host_bytes = (self.monitor.zero_copy_bytes - base.zero_copy)
-            + (self.monitor.dma_bytes - base.dma);
+        let host_bytes =
+            (self.monitor.zero_copy_bytes - base.zero_copy) + (self.monitor.dma_bytes - base.dma);
         RunStats {
             elapsed_ns: elapsed,
             kernel_launches,
@@ -227,6 +227,9 @@ impl Machine {
             page_faults: faults - base.faults,
             pages_migrated: migrated - base.migrated,
             host_dram_bytes: self.host_dram.bytes_read - base.dram_read,
+            // The transfer manager lives outside the machine; whoever owns
+            // one (the engine) overwrites this with the per-run diff.
+            transfer: crate::transfer::TransferStats::default(),
         }
     }
 }

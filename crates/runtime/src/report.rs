@@ -1,5 +1,6 @@
 //! Per-kernel and per-run statistics.
 
+use crate::transfer::TransferStats;
 use emogi_sim::monitor::SizeHistogram;
 use emogi_sim::time::Time;
 
@@ -53,6 +54,9 @@ pub struct RunStats {
     pub pages_migrated: u64,
     /// Host DRAM traffic (Figure 4's DRAM lane).
     pub host_dram_bytes: u64,
+    /// Hybrid transfer-manager counters for this run; all-zero for runs
+    /// that never stage (pure zero-copy, UVM).
+    pub transfer: TransferStats,
 }
 
 impl RunStats {

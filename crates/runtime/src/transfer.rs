@@ -80,7 +80,7 @@ impl RegionMap {
 }
 
 /// Counters for reporting and tests.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransferStats {
     /// Regions staged into device memory so far.
     pub staged_regions: u64,
@@ -91,6 +91,31 @@ pub struct TransferStats {
     pub pool_fallbacks: u64,
     /// Planning rounds that staged at least one region.
     pub staging_rounds: u64,
+}
+
+impl std::ops::Sub for TransferStats {
+    type Output = TransferStats;
+
+    /// Diff two snapshots of the (monotonically growing) counters, for
+    /// per-run reporting.
+    fn sub(self, base: TransferStats) -> TransferStats {
+        TransferStats {
+            staged_regions: self.staged_regions - base.staged_regions,
+            staged_bytes: self.staged_bytes - base.staged_bytes,
+            pool_fallbacks: self.pool_fallbacks - base.pool_fallbacks,
+            staging_rounds: self.staging_rounds - base.staging_rounds,
+        }
+    }
+}
+
+impl std::ops::AddAssign for TransferStats {
+    /// Accumulate per-run diffs (e.g. across the queries of a scenario).
+    fn add_assign(&mut self, other: TransferStats) {
+        self.staged_regions += other.staged_regions;
+        self.staged_bytes += other.staged_bytes;
+        self.pool_fallbacks += other.pool_fallbacks;
+        self.staging_rounds += other.staging_rounds;
+    }
 }
 
 /// The per-array hybrid transfer manager.
@@ -235,6 +260,22 @@ impl TransferManager {
         copy_bytes > 0
     }
 
+    /// One-call planning hook for a kernel launch: note every byte range
+    /// the launch will read (frontier-driven callers pass one range per
+    /// active neighbour list, full-sweep callers the whole array) and run
+    /// the staging decision. Returns whether the translation table
+    /// changed, i.e. whether callers must refresh their [`RegionMap`].
+    pub fn plan_iteration(
+        &mut self,
+        machine: &mut Machine,
+        ranges: impl IntoIterator<Item = (u64, u64)>,
+    ) -> bool {
+        for (lo, hi) in ranges {
+            self.note_upcoming(lo, hi);
+        }
+        self.plan(machine)
+    }
+
     /// Snapshot of the translation table for the kernel address path.
     pub fn region_map(&self) -> RegionMap {
         RegionMap {
@@ -283,7 +324,11 @@ mod tests {
         assert!(tm.is_staged(0));
         assert!(!tm.is_staged(1));
         assert_eq!(tm.stats.staged_bytes, 64 << 10);
-        assert_eq!(m.dma.bytes_to_device, 64 << 10, "staging used the DMA engine");
+        assert_eq!(
+            m.dma.bytes_to_device,
+            64 << 10,
+            "staging used the DMA engine"
+        );
         assert!(m.now > before, "bulk copy advances the clock");
         // Translation: offsets in region 0 map into device space.
         let map = tm.region_map();
@@ -379,6 +424,42 @@ mod tests {
             tm.note_upcoming(0, 32 << 10);
         }
         assert_eq!(tm.upcoming[0], 64 << 10, "clamped to the region size");
+    }
+
+    #[test]
+    fn plan_iteration_notes_then_plans() {
+        let mut m = machine();
+        let mut tm = TransferManager::new(&m, 128 << 10, cfg(64 << 10, None));
+        let changed = tm.plan_iteration(&mut m, [(0u64, 64 << 10), (80 << 10, 81 << 10)]);
+        assert!(changed, "dense region 0 must stage");
+        assert!(tm.is_staged(0) && !tm.is_staged(1));
+        assert!(
+            !tm.plan_iteration(&mut m, std::iter::empty()),
+            "nothing new to stage"
+        );
+    }
+
+    #[test]
+    fn stats_diff_and_accumulate() {
+        let a = TransferStats {
+            staged_regions: 3,
+            staged_bytes: 300,
+            pool_fallbacks: 1,
+            staging_rounds: 2,
+        };
+        let b = TransferStats {
+            staged_regions: 1,
+            staged_bytes: 100,
+            pool_fallbacks: 0,
+            staging_rounds: 1,
+        };
+        let d = a - b;
+        assert_eq!(d.staged_regions, 2);
+        assert_eq!(d.staged_bytes, 200);
+        let mut acc = TransferStats::default();
+        acc += d;
+        acc += b;
+        assert_eq!(acc, a);
     }
 
     #[test]

@@ -81,6 +81,10 @@ mod tests {
             .collect();
         hashes.sort_unstable();
         hashes.dedup();
-        assert!(hashes.len() > 1000, "only {} distinct top-12-bit hashes", hashes.len());
+        assert!(
+            hashes.len() > 1000,
+            "only {} distinct top-12-bit hashes",
+            hashes.len()
+        );
     }
 }

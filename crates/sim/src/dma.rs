@@ -71,7 +71,8 @@ impl DmaEngine {
         self.bytes_to_host += bytes;
         let start = now + MEMCPY_LAUNCH_OVERHEAD_NS;
         let read_done = device.read_bulk(start, bytes);
-        link.dma_gpu_to_host(start, bytes, host, monitor).max(read_done)
+        link.dma_gpu_to_host(start, bytes, host, monitor)
+            .max(read_done)
     }
 }
 
@@ -106,7 +107,10 @@ mod tests {
         let done = dma.copy_to_device(0, 4096, &mut link, &mut host, &mut dev, &mut mon);
         assert!(done >= MEMCPY_LAUNCH_OVERHEAD_NS);
         let gbps = 4096.0 / done as f64;
-        assert!(gbps < 1.0, "4 KiB memcpy should be far from peak, got {gbps}");
+        assert!(
+            gbps < 1.0,
+            "4 KiB memcpy should be far from peak, got {gbps}"
+        );
     }
 
     #[test]

@@ -152,7 +152,8 @@ impl OutstandingGauge {
         if now == 0 {
             return 0.0;
         }
-        let area = self.area + f64::from(self.current) * (now.saturating_sub(self.last_change)) as f64;
+        let area =
+            self.area + f64::from(self.current) * (now.saturating_sub(self.last_change)) as f64;
         area / now as f64
     }
 }

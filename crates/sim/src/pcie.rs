@@ -212,7 +212,9 @@ impl PcieLink {
         self.tags_free += 1;
         debug_assert!(self.tags_free <= self.cfg.max_tags, "tag pool overflow");
         while self.tags_free > 0 {
-            let Some(w) = self.waiting.pop_front() else { break };
+            let Some(w) = self.waiting.pop_front() else {
+                break;
+            };
             let at = self.issue(now, w.addr, w.size, host_dram, monitor);
             released.push((w.id, at));
         }
@@ -316,8 +318,7 @@ mod tests {
     #[test]
     fn single_read_latency_is_about_the_measured_rtt() {
         let (mut link, mut dram, mut mon) = rig();
-        let ReadOutcome::Issued { complete_at } =
-            link.read(0, 0, 0x1000, 128, &mut dram, &mut mon)
+        let ReadOutcome::Issued { complete_at } = link.read(0, 0, 0x1000, 128, &mut dram, &mut mon)
         else {
             panic!("tag must be available on an idle link")
         };
@@ -365,8 +366,7 @@ mod tests {
         }
         // Completion spacing must equal the wire time of one 148-byte TLP.
         let gaps: Vec<_> = times.windows(2).map(|w| w[1] - w[0]).collect();
-        let expected =
-            bytes_over_bandwidth_ns(148, link.config().usable_gbps());
+        let expected = bytes_over_bandwidth_ns(148, link.config().usable_gbps());
         // Allow rounding slack from DRAM interleaving.
         for g in &gaps[4..] {
             assert!(
@@ -439,8 +439,14 @@ mod tests {
             }
         }
         let gbps = bytes as f64 / last as f64;
-        assert!(gbps < link.config().usable_gbps(), "payload {gbps} GB/s exceeds wire");
-        assert!(gbps > 2.0, "interleaved reads should still stream, got {gbps}");
+        assert!(
+            gbps < link.config().usable_gbps(),
+            "payload {gbps} GB/s exceeds wire"
+        );
+        assert!(
+            gbps > 2.0,
+            "interleaved reads should still stream, got {gbps}"
+        );
     }
 
     #[test]
@@ -470,6 +476,9 @@ mod tests {
         link.complete(5_010, 32, &mut dram, &mut mon, &mut released);
         link.complete(5_020, 32, &mut dram, &mut mon, &mut released);
         let ids: Vec<_> = released.iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids, vec![u64::from(tags), u64::from(tags) + 1, u64::from(tags) + 2]);
+        assert_eq!(
+            ids,
+            vec![u64::from(tags), u64::from(tags) + 1, u64::from(tags) + 2]
+        );
     }
 }

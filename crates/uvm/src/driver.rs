@@ -79,8 +79,15 @@ impl UvmDriver {
     /// Manage `[base_addr, base_addr + len)`. `base_addr` must be
     /// page-aligned (the runtime allocator guarantees it).
     pub fn new(cfg: UvmConfig, base_addr: u64, len: u64) -> Self {
-        assert!(cfg.pool_bytes >= cfg.page_bytes, "UVM pool smaller than one page");
-        assert_eq!(base_addr % cfg.page_bytes, 0, "managed base must be page-aligned");
+        assert!(
+            cfg.pool_bytes >= cfg.page_bytes,
+            "UVM pool smaller than one page"
+        );
+        assert_eq!(
+            base_addr % cfg.page_bytes,
+            0,
+            "managed base must be page-aligned"
+        );
         let pages = len.div_ceil(cfg.page_bytes) as usize;
         Self {
             base_page: base_addr / cfg.page_bytes,
@@ -169,7 +176,9 @@ impl UvmDriver {
         }
         let mut batch: Vec<PageId> = Vec::with_capacity(self.cfg.fault_batch_max);
         while batch.len() < self.cfg.fault_batch_max {
-            let Some(page) = self.fault_queue.pop_front() else { break };
+            let Some(page) = self.fault_queue.pop_front() else {
+                break;
+            };
             let i = self.idx(page);
             // A queued page can have been satisfied by a prefetch in an
             // earlier batch; skip stale entries.
@@ -382,7 +391,13 @@ mod tests {
         )
     }
 
-    fn run_batch(d: &mut UvmDriver, now: Time, l: &mut PcieLink, h: &mut Dram, m: &mut TrafficMonitor) -> (Time, Vec<PageId>) {
+    fn run_batch(
+        d: &mut UvmDriver,
+        now: Time,
+        l: &mut PcieLink,
+        h: &mut Dram,
+        m: &mut TrafficMonitor,
+    ) -> (Time, Vec<PageId>) {
         let r = d.start_batch(now, l, h, m).expect("batch should start");
         let pages = d.complete_batch();
         (r.done_at, pages)
@@ -413,7 +428,10 @@ mod tests {
         let r = d.start_batch(0, &mut l, &mut h, &mut m).unwrap();
         let pages = d.complete_batch();
         assert_eq!(pages.len(), 256, "fault_batch_max caps the pass");
-        assert!(d.handler_ready(), "remaining faults queue for the next pass");
+        assert!(
+            d.handler_ready(),
+            "remaining faults queue for the next pass"
+        );
         assert!(r.evicted.is_empty());
     }
 
@@ -432,8 +450,16 @@ mod tests {
         d.complete_batch();
         assert_eq!(r.evicted.len(), 1);
         assert_eq!(d.resident_pages(), 4);
-        assert_eq!(d.state(d.page_of(BASE)), PageState::Resident, "referenced page survives");
-        assert_eq!(d.state(d.page_of(BASE + PAGE)), PageState::NotResident, "unreferenced LRU page evicted");
+        assert_eq!(
+            d.state(d.page_of(BASE)),
+            PageState::Resident,
+            "referenced page survives"
+        );
+        assert_eq!(
+            d.state(d.page_of(BASE + PAGE)),
+            PageState::NotResident,
+            "unreferenced LRU page evicted"
+        );
         assert_eq!(r.evicted[0], (BASE + PAGE, BASE + 2 * PAGE));
     }
 
@@ -550,7 +576,9 @@ mod tests {
             let mut m = TrafficMonitor::new(100_000);
             for i in 0..3 {
                 d.record_fault(d.page_of(BASE + i * PAGE));
-                let r = d.start_batch(i * 1_000_000, &mut l, &mut h, &mut m).unwrap();
+                let r = d
+                    .start_batch(i * 1_000_000, &mut l, &mut h, &mut m)
+                    .unwrap();
                 d.complete_batch();
                 drop(r);
             }
@@ -584,7 +612,11 @@ mod tests {
         let r = d.start_batch(1_000_000, &mut l, &mut h, &mut m).unwrap();
         d.complete_batch();
         assert_eq!(r.evicted.len(), 4, "the whole 4-page block goes");
-        assert_eq!(d.state(d.page_of(BASE)), PageState::NotResident, "even the referenced page is gone");
+        assert_eq!(
+            d.state(d.page_of(BASE)),
+            PageState::NotResident,
+            "even the referenced page is gone"
+        );
         assert_eq!(d.resident_pages(), 1);
     }
 

@@ -100,7 +100,10 @@ mod tests {
         // Doubling the link must NOT double UVM (Figure 12: 1.53x).
         let gen4 = cfg.migration_ceiling_gbps(24.52);
         let scaling = gen4 / gen3;
-        assert!((1.45..1.65).contains(&scaling), "UVM gen4 scaling {scaling}");
+        assert!(
+            (1.45..1.65).contains(&scaling),
+            "UVM gen4 scaling {scaling}"
+        );
     }
 
     #[test]

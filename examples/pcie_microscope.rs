@@ -11,7 +11,7 @@
 //! sparkline per pattern.
 
 use emogi_repro::core::toy::{self, ToyPattern};
-use emogi_repro::runtime::MachineConfig;
+use emogi_repro::prelude::MachineConfig;
 
 fn sparkline(samples: &[(u64, f64)], peak: f64) -> String {
     const BARS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -26,7 +26,10 @@ fn sparkline(samples: &[(u64, f64)], peak: f64) -> String {
 
 fn main() {
     let array = 8 << 20;
-    println!("traversing an {} MiB array in zero-copy host memory\n", array >> 20);
+    println!(
+        "traversing an {} MiB array in zero-copy host memory\n",
+        array >> 20
+    );
     for pattern in ToyPattern::all() {
         let r = toy::run_zero_copy(MachineConfig::v100_gen3(), pattern, array);
         let h = &r.stats.request_sizes;

@@ -5,12 +5,12 @@
 //! ```
 //!
 //! Builds a random graph whose edge list exceeds the (scaled) GPU memory,
-//! runs BFS with EMOGI's zero-copy merged+aligned kernels and with the
-//! UVM baseline, verifies both against a CPU reference, and prints the
-//! measurements the paper's Figures 8–10 are made of.
+//! places it once per engine, runs BFS with EMOGI's zero-copy
+//! merged+aligned kernels and with the UVM baseline, verifies both
+//! against a CPU reference, and prints the measurements the paper's
+//! Figures 8–10 are made of.
 
-use emogi_repro::core::{AccessStrategy, TraversalConfig, TraversalSystem};
-use emogi_repro::graph::{algo, generators};
+use emogi_repro::prelude::*;
 
 fn main() {
     // ~34 MB of edges vs 16 MiB of (scaled) GPU memory: out of memory.
@@ -26,25 +26,25 @@ fn main() {
     let reference = algo::bfs_levels(&graph, source);
 
     for (name, cfg) in [
-        ("UVM baseline", TraversalConfig::uvm_v100()),
+        ("UVM baseline", EngineConfig::uvm_v100()),
         (
             "EMOGI / Naive",
-            TraversalConfig::emogi_v100().with_strategy(AccessStrategy::Naive),
+            EngineConfig::emogi_v100().with_strategy(AccessStrategy::Naive),
         ),
         (
             "EMOGI / Merged",
-            TraversalConfig::emogi_v100().with_strategy(AccessStrategy::Merged),
+            EngineConfig::emogi_v100().with_strategy(AccessStrategy::Merged),
         ),
-        ("EMOGI / Merged+Aligned", TraversalConfig::emogi_v100()),
+        ("EMOGI / Merged+Aligned", EngineConfig::emogi_v100()),
     ] {
-        let mut sys = TraversalSystem::new(cfg, &graph, None);
-        let run = sys.bfs(source);
+        let mut engine = Engine::load(cfg, &graph);
+        let run = engine.bfs(source);
         assert_eq!(run.levels, reference, "{name} must agree with the CPU BFS");
         println!(
             "{name:>22}: {:>8.2} ms  |  {:>5.2} GB/s PCIe  |  amplification {:.2}  |  {} kernel launches",
             run.stats.elapsed_ns as f64 / 1e6,
             run.stats.avg_pcie_gbps,
-            run.stats.amplification(sys.dataset_bytes()),
+            run.stats.amplification(engine.dataset_bytes()),
             run.stats.kernel_launches,
         );
     }

@@ -1,14 +1,13 @@
 //! Weighted shortest paths over a web-crawl graph, comparing EMOGI
 //! against UVM on both PCIe generations — the §5.5 scaling story on a
-//! single workload.
+//! single workload. Weights are a *program input*: the same placed graph
+//! could serve differently-weighted queries back to back.
 //!
 //! ```text
 //! cargo run --release --example shortest_paths
 //! ```
 
-use emogi_repro::core::{sssp::INF, TraversalConfig, TraversalSystem};
-use emogi_repro::graph::{algo, DatasetKey};
-use emogi_repro::runtime::MachineConfig;
+use emogi_repro::prelude::*;
 
 fn main() {
     let d = DatasetKey::Uk5.spec().generate();
@@ -30,12 +29,12 @@ fn main() {
         ("EMOGI + PCIe 4.0", MachineConfig::a100_gen4(), false),
     ] {
         let cfg = if uvm {
-            TraversalConfig::uvm_v100().with_machine(machine)
+            EngineConfig::uvm_v100().with_machine(machine)
         } else {
-            TraversalConfig::emogi_v100().with_machine(machine)
+            EngineConfig::emogi_v100().with_machine(machine)
         };
-        let mut sys = TraversalSystem::new(cfg, &d.graph, Some(&d.weights));
-        let run = sys.sssp(src);
+        let mut engine = Engine::load(cfg, &d.graph);
+        let run = engine.run(SsspProgram::new(&d.graph, &d.weights, src));
         for (v, &want) in reference.iter().enumerate() {
             let got = if run.dist[v] == INF {
                 algo::UNREACHABLE
@@ -54,5 +53,7 @@ fn main() {
             run.stats.kernel_launches
         );
     }
-    println!("\npaper: UVM scales only ~1.53x from PCIe 3.0 to 4.0 (fault-handler bound); EMOGI ~1.9x");
+    println!(
+        "\npaper: UVM scales only ~1.53x from PCIe 3.0 to 4.0 (fault-handler bound); EMOGI ~1.9x"
+    );
 }

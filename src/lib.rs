@@ -9,8 +9,21 @@
 //! * [`uvm`] — Unified Virtual Memory driver model
 //! * [`runtime`] — kernel executor wiring the above together
 //! * [`graph`] — CSR graphs and the Table 2 dataset generators
-//! * [`core`] — EMOGI itself: zero-copy BFS / SSSP / CC
+//! * [`core`] — EMOGI itself: the place-once, query-many [`core::Engine`]
+//!   and the [`core::VertexProgram`] algorithms (BFS / SSSP / CC /
+//!   PageRank)
 //! * [`baselines`] — UVM, HALO-style and Subway-style comparison systems
+//!
+//! Most users want the [`prelude`]:
+//!
+//! ```
+//! use emogi_repro::prelude::*;
+//!
+//! let graph = generators::uniform_random(1_000, 8, 7);
+//! let mut engine = Engine::load(EngineConfig::emogi_v100(), &graph);
+//! let run = engine.bfs(0);
+//! assert_eq!(run.levels, algo::bfs_levels(&graph, 0));
+//! ```
 
 pub use emogi_baselines as baselines;
 pub use emogi_core as core;
@@ -19,3 +32,24 @@ pub use emogi_graph as graph;
 pub use emogi_runtime as runtime;
 pub use emogi_sim as sim;
 pub use emogi_uvm as uvm;
+
+/// Everything a typical engine user needs in one import: the engine and
+/// its configs, the four shipped vertex programs (plus the trait to write
+/// your own), access strategies/modes/placements, graph types and
+/// generators, the CPU reference algorithms, machine presets and the
+/// comparison baselines.
+pub mod prelude {
+    pub use emogi_baselines::{HaloSystem, SubwayMode, SubwaySystem};
+    pub use emogi_core::sssp::INF;
+    pub use emogi_core::{
+        AccessMode, AccessPattern, AccessStrategy, BfsOutput, BfsProgram, BfsRun, CcOutput,
+        CcProgram, CcRun, DeviceWork, EdgeEffect, EdgePlacement, Engine, EngineConfig,
+        PageRankOutput, PageRankProgram, PageRankRun, Run, SsspOutput, SsspProgram, SsspRun,
+        VertexProgram,
+    };
+    pub use emogi_graph::{
+        algo, datasets, generators, CsrGraph, Dataset, DatasetKey, EdgeListBuilder, VertexId,
+        UNVISITED,
+    };
+    pub use emogi_runtime::{Machine, MachineConfig, RunStats, TransferConfig, TransferStats};
+}

@@ -82,6 +82,20 @@ fn hybrid_experiment_produces_table_and_hybrid_wins_reuse() {
 }
 
 #[test]
+fn pagerank_experiment_verifies_all_modes() {
+    let tables = experiments::run("pagerank", &ctx());
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(t.id, "pagerank");
+    // 2 graphs x 4 access modes, every cell verified against the CPU
+    // reference inside measure() itself.
+    assert_eq!(t.rows.len(), 8);
+    for row in &t.rows {
+        assert_eq!(row.len(), t.headers.len());
+    }
+}
+
+#[test]
 #[should_panic(expected = "unknown experiment id")]
 fn unknown_id_is_rejected() {
     let _ = experiments::run("fig99", &ctx());

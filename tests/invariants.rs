@@ -1,8 +1,7 @@
 //! Accounting invariants of the simulated machine: conservation laws the
 //! traffic monitors must obey on any workload, plus bit-reproducibility.
 
-use emogi_repro::core::{AccessStrategy, TraversalConfig, TraversalSystem};
-use emogi_repro::graph::generators;
+use emogi_repro::prelude::*;
 use emogi_repro::sim::pcie::PcieGen;
 
 #[test]
@@ -11,7 +10,7 @@ fn pcie_bytes_cover_the_touched_edge_list() {
     // (requests are sector-granular so overshoot is expected, undershoot
     // never).
     let g = generators::uniform_random(2_000, 16, 1);
-    let mut sys = TraversalSystem::new(TraversalConfig::emogi_v100(), &g, None);
+    let mut sys = Engine::load(EngineConfig::emogi_v100(), &g);
     let run = sys.bfs(0);
     let reachable_bytes: u64 = (0..g.num_vertices() as u32)
         .filter(|&v| run.levels[v as usize] != u32::MAX)
@@ -28,19 +27,22 @@ fn pcie_bytes_cover_the_touched_edge_list() {
 #[test]
 fn histogram_total_equals_request_count() {
     let g = generators::kronecker(10, 8, 2);
-    for strategy in [AccessStrategy::Naive, AccessStrategy::Merged, AccessStrategy::MergedAligned] {
-        let mut sys = TraversalSystem::new(
-            TraversalConfig::emogi_v100().with_strategy(strategy),
-            &g,
-            None,
-        );
+    for strategy in [
+        AccessStrategy::Naive,
+        AccessStrategy::Merged,
+        AccessStrategy::MergedAligned,
+    ] {
+        let mut sys = Engine::load(EngineConfig::emogi_v100().with_strategy(strategy), &g);
         let run = sys.bfs(1);
         assert_eq!(
             run.stats.request_sizes.total(),
             run.stats.pcie_read_requests,
             "{strategy:?}"
         );
-        assert_eq!(run.stats.request_sizes.other, 0, "only 32/64/96/128-byte requests exist");
+        assert_eq!(
+            run.stats.request_sizes.other, 0,
+            "only 32/64/96/128-byte requests exist"
+        );
         // Payload bytes must equal the histogram's weighted sum.
         let h = &run.stats.request_sizes;
         let weighted: u64 = h
@@ -58,11 +60,7 @@ fn host_dram_reads_at_least_wire_payload() {
     // 64-byte DRAM granularity means DRAM traffic >= PCIe payload.
     let g = generators::uniform_random(1_500, 12, 3);
     for strategy in [AccessStrategy::Naive, AccessStrategy::MergedAligned] {
-        let mut sys = TraversalSystem::new(
-            TraversalConfig::emogi_v100().with_strategy(strategy),
-            &g,
-            None,
-        );
+        let mut sys = Engine::load(EngineConfig::emogi_v100().with_strategy(strategy), &g);
         let run = sys.bfs(0);
         assert!(
             run.stats.host_dram_bytes >= run.stats.host_bytes,
@@ -76,7 +74,7 @@ fn host_dram_reads_at_least_wire_payload() {
 #[test]
 fn uvm_migration_covers_touched_pages_once_at_minimum() {
     let g = generators::uniform_random(1_000, 16, 4);
-    let mut sys = TraversalSystem::new(TraversalConfig::uvm_v100(), &g, None);
+    let mut sys = Engine::load(EngineConfig::uvm_v100(), &g);
     let run = sys.bfs(0);
     // Every reachable edge lives on some 4 KiB page; each such page must
     // have migrated at least once.
@@ -102,13 +100,13 @@ fn uvm_migration_covers_touched_pages_once_at_minimum() {
 fn simulation_is_bit_reproducible() {
     let g = generators::kronecker(10, 8, 5);
     let run = |_: u32| {
-        let mut sys = TraversalSystem::new(TraversalConfig::emogi_v100(), &g, None);
+        let mut sys = Engine::load(EngineConfig::emogi_v100(), &g);
         let r = sys.bfs(3);
         (
             r.stats.elapsed_ns,
             r.stats.pcie_read_requests,
             r.stats.host_bytes,
-            r.levels,
+            r.output.levels,
         )
     };
     assert_eq!(run(0), run(1), "two identical runs must match exactly");
@@ -118,9 +116,9 @@ fn simulation_is_bit_reproducible() {
 fn gen4_is_never_slower_than_gen3_for_emogi() {
     let g = generators::uniform_random(2_000, 16, 6);
     let time = |gen: PcieGen| {
-        let mut cfg = TraversalConfig::emogi_v100();
+        let mut cfg = EngineConfig::emogi_v100();
         cfg.machine.pcie = gen.config();
-        let mut sys = TraversalSystem::new(cfg, &g, None);
+        let mut sys = Engine::load(cfg, &g);
         sys.bfs(0).stats.elapsed_ns
     };
     let t3 = time(PcieGen::Gen3x16);
@@ -133,15 +131,14 @@ fn merged_never_issues_more_requests_than_naive() {
     for seed in [7u64, 8, 9] {
         let g = generators::kronecker(9, 8, seed);
         let reqs = |strategy| {
-            let mut sys = TraversalSystem::new(
-                TraversalConfig::emogi_v100().with_strategy(strategy),
-                &g,
-                None,
-            );
+            let mut sys = Engine::load(EngineConfig::emogi_v100().with_strategy(strategy), &g);
             sys.bfs(1).stats.pcie_read_requests
         };
         let naive = reqs(AccessStrategy::Naive);
         let merged = reqs(AccessStrategy::Merged);
-        assert!(merged <= naive, "seed {seed}: merged {merged} vs naive {naive}");
+        assert!(
+            merged <= naive,
+            "seed {seed}: merged {merged} vs naive {naive}"
+        );
     }
 }

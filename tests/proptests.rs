@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) over the core data structures and the
 //! end-to-end engines.
 
-use emogi_repro::core::{AccessStrategy, TraversalConfig, TraversalSystem};
+use emogi_repro::core::{AccessStrategy, EdgePlacement, Engine, EngineConfig};
 use emogi_repro::gpu::access::{LaneAccess, Space};
 use emogi_repro::gpu::cache::{CacheConfig, SectoredCache};
 use emogi_repro::gpu::coalesce::{Coalescer, Transaction};
@@ -158,13 +158,91 @@ proptest! {
         let src = edges[0].0.min(edges[0].1);
         prop_assume!(g.degree(src) > 0);
         let strategy = AccessStrategy::all()[strategy_idx];
-        let mut sys = TraversalSystem::new(
-            TraversalConfig::emogi_v100().with_strategy(strategy),
-            &g,
-            None,
-        );
+        let mut sys = Engine::load(EngineConfig::emogi_v100().with_strategy(strategy), &g);
         let run = sys.bfs(src);
-        prop_assert_eq!(run.levels, algo::bfs_levels(&g, src));
+        prop_assert_eq!(run.levels.clone(), algo::bfs_levels(&g, src));
+    }
+
+    /// Every program × every access strategy × every placement agrees
+    /// with the CPU references on arbitrary undirected weighted graphs —
+    /// the full engine matrix behind the vertex-program redesign, BFS,
+    /// SSSP, CC and PageRank alike.
+    #[test]
+    fn every_program_strategy_placement_matches_the_cpu_references(
+        edges in prop::collection::vec((0u32..80, 0u32..80), 1..300),
+        strategy_idx in 0usize..3,
+        placement_idx in 0usize..2,
+    ) {
+        use emogi_repro::graph::datasets::generate_weights;
+
+        let mut b = EdgeListBuilder::new(80).symmetrize(true);
+        for &(s, d) in &edges {
+            b.push(s, d);
+        }
+        let g: CsrGraph = b.build();
+        let src = edges[0].0.min(edges[0].1);
+        prop_assume!(g.degree(src) > 0);
+        let w = generate_weights(g.num_edges(), 7);
+
+        let strategy = AccessStrategy::all()[strategy_idx];
+        let placement = [EdgePlacement::ZeroCopyHost, EdgePlacement::Uvm][placement_idx];
+        let mut cfg = EngineConfig::emogi_v100().with_strategy(strategy);
+        cfg.placement = placement;
+        let mut engine = Engine::load(cfg, &g);
+
+        // SSSP first so UVM placements grow their managed span before
+        // the driver initializes; then the rest share the placement.
+        let sssp = engine.sssp(&w, src);
+        let want = algo::sssp_distances(&g, &w, src);
+        for (v, &expect) in want.iter().enumerate() {
+            let got = if sssp.dist[v] == u32::MAX {
+                algo::UNREACHABLE
+            } else {
+                u64::from(sssp.dist[v])
+            };
+            prop_assert_eq!(got, expect, "sssp {:?}/{:?} vertex {}", strategy, placement, v);
+        }
+
+        let bfs = engine.bfs(src);
+        prop_assert_eq!(bfs.levels.clone(), algo::bfs_levels(&g, src));
+
+        let cc = engine.cc();
+        prop_assert_eq!(cc.comp.clone(), algo::cc_labels(&g));
+
+        let pr = engine.pagerank(0.85, 8);
+        let want = algo::pagerank(&g, 0.85, 8);
+        for (v, (&got, &expect)) in pr.ranks.iter().zip(&want).enumerate() {
+            prop_assert!(
+                (got - expect).abs() < 1e-9,
+                "pagerank {:?}/{:?} vertex {}: {} vs {}",
+                strategy, placement, v, got, expect
+            );
+        }
+    }
+
+    /// Hybrid mode is a pure transport optimization: on any graph, its
+    /// results equal the Merged+Aligned zero-copy engine's on every
+    /// program, even as staging decisions diverge across the runs.
+    #[test]
+    fn hybrid_transport_never_changes_results(
+        edges in prop::collection::vec((0u32..64, 0u32..64), 1..250),
+    ) {
+        let mut b = EdgeListBuilder::new(64).symmetrize(true);
+        for &(s, d) in &edges {
+            b.push(s, d);
+        }
+        let g: CsrGraph = b.build();
+        let src = edges[0].0.min(edges[0].1);
+        prop_assume!(g.degree(src) > 0);
+
+        let mut zc = Engine::load(EngineConfig::emogi_v100(), &g);
+        let mut hy = Engine::load(EngineConfig::hybrid_v100(), &g);
+        prop_assert_eq!(hy.bfs(src).levels.clone(), zc.bfs(src).levels.clone());
+        prop_assert_eq!(hy.cc().comp.clone(), zc.cc().comp.clone());
+        let (a, b) = (hy.pagerank(0.85, 5), zc.pagerank(0.85, 5));
+        for (x, y) in a.ranks.iter().zip(&b.ranks) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
     }
 
     /// The aligned strategy can only reduce the number of PCIe requests
@@ -180,11 +258,7 @@ proptest! {
         let g: CsrGraph = b.build();
         prop_assume!(g.degree(0) > 0);
         let reqs = |strategy| {
-            let mut sys = TraversalSystem::new(
-                TraversalConfig::emogi_v100().with_strategy(strategy),
-                &g,
-                None,
-            );
+            let mut sys = Engine::load(EngineConfig::emogi_v100().with_strategy(strategy), &g);
             sys.bfs(0).stats.pcie_read_requests
         };
         let merged = reqs(AccessStrategy::Merged);
