@@ -9,6 +9,7 @@ pub mod matrix;
 pub mod misc;
 pub mod pagerank;
 pub mod prior;
+pub mod serve;
 pub mod toy;
 
 use crate::{Context, Table};
@@ -45,6 +46,7 @@ pub const ALL_IDS: &[&str] = &[
     "ablations",
     "hybrid",
     "pagerank",
+    "serve",
 ];
 
 /// Run one experiment by id. The BFS case-study figures (5, 7–10) share
@@ -72,6 +74,7 @@ pub fn run(id: &str, ctx: &Context) -> Vec<Table> {
         "ablations" => ablations::all(ctx),
         "hybrid" => vec![hybrid::hybrid(ctx)],
         "pagerank" => vec![pagerank::pagerank(ctx)],
+        "serve" => vec![serve::serve(ctx)],
         other => panic!("unknown experiment id {other:?} (known: {ALL_IDS:?})"),
     }
 }
@@ -97,5 +100,6 @@ pub fn run_all(ctx: &Context) -> Vec<Table> {
     out.extend(ablations::all(ctx));
     out.push(hybrid::hybrid(ctx));
     out.push(pagerank::pagerank(ctx));
+    out.push(serve::serve(ctx));
     out
 }

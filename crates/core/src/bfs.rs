@@ -13,6 +13,7 @@ use emogi_graph::{CsrGraph, VertexId, UNVISITED};
 /// BFS result: per-vertex levels ([`UNVISITED`] when unreachable).
 #[derive(Debug, Clone)]
 pub struct BfsOutput {
+    /// Per-vertex BFS level; [`UNVISITED`] for unreachable vertices.
     pub levels: Vec<u32>,
 }
 
@@ -26,6 +27,7 @@ pub struct BfsProgram {
 }
 
 impl BfsProgram {
+    /// A BFS from `src` over `graph`.
     pub fn new(graph: &CsrGraph, src: VertexId) -> Self {
         let mut levels = vec![UNVISITED; graph.num_vertices()];
         levels[src as usize] = 0;

@@ -1,6 +1,6 @@
 //! Connected components as a [`VertexProgram`] (Shiloach-Vishkin-style
-//! hook + shortcut, after the GARDENIA baseline the paper builds on
-//! [51]).
+//! hook + shortcut, after the GARDENIA baseline the paper builds on,
+//! its reference \[51\]).
 //!
 //! "With CC, instead of picking a specific vertex to start with, all
 //! vertices are set as root vertices and the entire edge list is
@@ -18,7 +18,9 @@ use emogi_graph::{CsrGraph, VertexId};
 /// component) and the number of hook passes it took to converge.
 #[derive(Debug, Clone)]
 pub struct CcOutput {
+    /// Per-vertex component label (smallest vertex id in the component).
     pub comp: Vec<u32>,
+    /// Hook passes until convergence.
     pub hook_passes: u64,
 }
 
@@ -31,6 +33,7 @@ pub struct CcProgram {
 }
 
 impl CcProgram {
+    /// CC over `graph`, which must be undirected.
     pub fn new(graph: &CsrGraph) -> Self {
         assert!(
             graph.is_undirected(),

@@ -120,6 +120,8 @@ impl Kernel for CompressedBfsKernel<'_, '_> {
 }
 
 impl<'g> CompressedBfs<'g> {
+    /// A BFS system over a delta-varint-compressed graph on a fresh
+    /// machine.
     pub fn new(machine_cfg: MachineConfig, graph: &'g CompressedCsr) -> Self {
         let mut machine = Machine::new(machine_cfg);
         let edge_base = machine.alloc_host_pinned(graph.compressed_bytes().max(1));

@@ -17,6 +17,7 @@
 //! programs the whole edge list — and applies the program's device-side
 //! inter-launch work (CC's pointer-jumping shortcut).
 
+use crate::batch::BatchRun;
 use crate::bfs::{BfsOutput, BfsProgram};
 use crate::cc::{CcOutput, CcProgram};
 use crate::kernel::{ProgramKernel, WorkList};
@@ -34,8 +35,11 @@ use emogi_runtime::{Machine, TransferConfig, TransferManager};
 /// How to build an [`Engine`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
+    /// The simulated platform (GPU, PCIe link, host DRAM, UVM template).
     pub machine: MachineConfig,
+    /// Kernel-level access strategy (Naive / Merged / Merged+Aligned).
     pub strategy: AccessStrategy,
+    /// Where the edge list lives (pinned host vs managed memory).
     pub placement: EdgePlacement,
     /// Simulated edge element size: 8 by default, 4 for the Subway
     /// comparison (§5.6).
@@ -79,6 +83,7 @@ impl EngineConfig {
         Self::emogi_v100().with_mode(AccessMode::Hybrid)
     }
 
+    /// Replace only the kernel-level access strategy.
     pub fn with_strategy(mut self, s: AccessStrategy) -> Self {
         self.strategy = s;
         self
@@ -98,16 +103,19 @@ impl EngineConfig {
         self
     }
 
+    /// Install a custom hybrid transfer configuration.
     pub fn with_transfer(mut self, transfer: TransferConfig) -> Self {
         self.transfer = Some(transfer);
         self
     }
 
+    /// Replace the simulated platform.
     pub fn with_machine(mut self, m: MachineConfig) -> Self {
         self.machine = m;
         self
     }
 
+    /// Set the simulated edge element size (8, or 4 for §5.6 protocols).
     pub fn with_elem_bytes(mut self, b: u64) -> Self {
         self.elem_bytes = b;
         self
@@ -122,7 +130,9 @@ impl EngineConfig {
 /// read exactly like the pre-redesign result structs.
 #[derive(Debug, Clone)]
 pub struct Run<O> {
+    /// The program's output (levels, distances, labels, ranks, ...).
     pub output: O,
+    /// The run's measurements.
     pub stats: RunStats,
 }
 
@@ -160,6 +170,7 @@ pub type PageRankRun = Run<PageRankOutput>;
 /// }
 /// ```
 pub struct Engine<'g> {
+    /// The simulated machine the graph is placed on.
     pub machine: Machine,
     graph: &'g CsrGraph,
     layout: GraphLayout,
@@ -167,6 +178,9 @@ pub struct Engine<'g> {
     placement: EdgePlacement,
     /// Hybrid mode: the per-region zero-copy / DMA transfer manager.
     transfer: Option<TransferManager>,
+    /// Device status arrays for batched multi-query execution, one per
+    /// query slot, allocated on first use and reused across batches.
+    batch_status: Vec<u64>,
 }
 
 impl<'g> Engine<'g> {
@@ -192,17 +206,21 @@ impl<'g> Engine<'g> {
             strategy: cfg.strategy,
             placement: cfg.placement,
             transfer,
+            batch_status: Vec::new(),
         }
     }
 
+    /// The placed graph.
     pub fn graph(&self) -> &'g CsrGraph {
         self.graph
     }
 
+    /// Where the graph's arrays live on the machine.
     pub fn layout(&self) -> &GraphLayout {
         &self.layout
     }
 
+    /// The kernel-level access strategy every run uses.
     pub fn strategy(&self) -> AccessStrategy {
         self.strategy
     }
@@ -357,6 +375,201 @@ impl<'g> Engine<'g> {
             output: program.finish(),
             stats,
         }
+    }
+
+    /// Ensure up to `want` device status arrays for batched execution,
+    /// reused across batches (the simulated allocator never frees). In
+    /// hybrid mode the transfer manager's staging pool is shrunk by the
+    /// same amount, so staging can never outrun the real device
+    /// capacity. Best-effort: allocation stops when device memory is
+    /// exhausted (e.g. staging already filled it) or when the UVM driver
+    /// has pinned the device layout; returns the number of usable slots,
+    /// possibly less than `want` — [`run_batch`](Self::run_batch) splits
+    /// the batch or falls back to solo runs accordingly.
+    fn ensure_batch_status(&mut self, want: usize) -> usize {
+        let bytes = self.graph.num_vertices() as u64 * 4;
+        let need = bytes.div_ceil(128) * 128;
+        while self.batch_status.len() < want {
+            if self.machine.uvm.is_some() || self.machine.spaces.device_free() < need {
+                break;
+            }
+            let base = self.machine.alloc_device(bytes);
+            if let Some(tm) = self.transfer.as_mut() {
+                tm.reserve(bytes);
+            }
+            self.batch_status.push(base);
+        }
+        self.batch_status.len().min(want)
+    }
+
+    /// Run a batch of same-type frontier-driven programs concurrently
+    /// over the shared placement: each iteration launches one
+    /// [`BatchKernel`](crate::batch::BatchKernel) over the **union** of
+    /// the still-active queries'
+    /// frontiers, so an edge-list region crosses PCIe once per iteration
+    /// no matter how many queries read it.
+    ///
+    /// Per-query results (outputs *and* iteration counts) are
+    /// bit-identical to running the same programs one at a time via
+    /// [`run`](Self::run) — contexts are captured at iteration start and
+    /// the shipped frontier-driven programs' per-edge updates are
+    /// commutative within an iteration, so a query cannot observe its
+    /// batch neighbours. Each query's [`RunStats`] accumulates the
+    /// machine diff of the iterations it was active in, flagged
+    /// [`shared_fetch`](RunStats::shared_fetch); the returned
+    /// [`BatchRun::stats`] is the batch-level total in which every
+    /// shared fetch is counted exactly once.
+    ///
+    /// Each query slot needs its own device status array. When device
+    /// memory cannot hold one per query — hybrid staging already filled
+    /// it, or the UVM driver froze the device layout — the batch
+    /// degrades gracefully: it splits into groups sized to the slots
+    /// that fit, down to plain back-to-back solo runs. Results are
+    /// bit-identical in every case; only the fetch sharing shrinks.
+    ///
+    /// Panics if the batch is empty, exceeds
+    /// [`MAX_BATCH_QUERIES`](crate::batch::MAX_BATCH_QUERIES), or
+    /// contains a [`AccessPattern::FullSweep`] program (full sweeps read
+    /// everything every launch — there is no frontier to merge; run them
+    /// solo).
+    pub fn run_batch<P: VertexProgram>(&mut self, programs: Vec<P>) -> BatchRun<P::Output> {
+        assert!(!programs.is_empty(), "empty batch");
+        assert!(
+            programs.len() <= crate::batch::MAX_BATCH_QUERIES,
+            "batch exceeds {} queries",
+            crate::batch::MAX_BATCH_QUERIES
+        );
+        for p in &programs {
+            assert_eq!(
+                p.pattern(),
+                AccessPattern::FrontierDriven,
+                "batched execution requires frontier-driven programs"
+            );
+        }
+        if programs[0].uses_edge_data() {
+            self.ensure_edge_data();
+        }
+        // Best-effort slot acquisition: device memory may already be
+        // exhausted (hybrid staging on an oversubscribed graph) or
+        // frozen (UVM driver initialized). Degrade instead of crashing:
+        // split the batch into groups that fit, or — with no slot at
+        // all — serve the queries back-to-back through the solo path.
+        // Results stay bit-identical either way; only the sharing (and
+        // its savings) shrinks.
+        let slots = self.ensure_batch_status(programs.len());
+
+        let batch_snap = self.machine.snapshot();
+        let batch_transfer_base = self.transfer.as_ref().map(|t| t.stats);
+        let mut runs: Vec<Run<P::Output>> = Vec::with_capacity(programs.len());
+        let mut total_launches = 0u64;
+        if slots == 0 {
+            for p in programs {
+                let run = self.run(p);
+                total_launches += run.stats.kernel_launches;
+                runs.push(run);
+            }
+        } else {
+            let mut programs = programs;
+            while !programs.is_empty() {
+                let rest = programs.split_off(slots.min(programs.len()));
+                runs.extend(self.run_batch_group(programs, &mut total_launches));
+                programs = rest;
+            }
+        }
+        let mut stats = self.machine.finish_run(&batch_snap, total_launches);
+        if let (Some(tm), Some(base)) = (&self.transfer, batch_transfer_base) {
+            stats.transfer = tm.stats - base;
+        }
+        BatchRun { runs, stats }
+    }
+
+    /// One group of the batch, sized to the available status slots: the
+    /// per-iteration union-frontier loop behind
+    /// [`run_batch`](Self::run_batch).
+    fn run_batch_group<P: VertexProgram>(
+        &mut self,
+        mut programs: Vec<P>,
+        total_launches: &mut u64,
+    ) -> Vec<Run<P::Output>> {
+        let nq = programs.len();
+        let mut frontiers: Vec<Vec<VertexId>> = programs
+            .iter()
+            .map(|p| {
+                let mut f = p.initial_frontier();
+                f.sort_unstable();
+                f.dedup();
+                f
+            })
+            .collect();
+        let mut next: Vec<Vec<VertexId>> = vec![Vec::new(); nq];
+        // A batch of one shares its fetches with nobody; only real
+        // multi-query batches flag their per-query stats.
+        let mut per_stats: Vec<RunStats> = vec![
+            RunStats {
+                shared_fetch: nq > 1,
+                ..RunStats::default()
+            };
+            nq
+        ];
+        let mut work = DeviceWork::default();
+        let mut union: Vec<VertexId> = Vec::new();
+        let mut masks: Vec<u64> = Vec::new();
+        loop {
+            crate::batch::merge_frontiers(&frontiers, &mut union, &mut masks);
+            if union.is_empty() {
+                break;
+            }
+            let active: Vec<usize> = (0..nq).filter(|&q| !frontiers[q].is_empty()).collect();
+            let iter_snap = self.machine.snapshot();
+            let iter_transfer_base = self.transfer.as_ref().map(|t| t.stats);
+            // The active-vertex scan runs per query (each query's status
+            // array is scanned for its own frontier), exactly as many
+            // times as the sequential runs would pay it — batching saves
+            // edge fetches, not bookkeeping.
+            for _ in &active {
+                self.charge_vertex_scan();
+            }
+            self.plan_transfers(AccessPattern::FrontierDriven, &union);
+            for &q in &active {
+                programs[q].begin_iteration();
+            }
+            let mut kernel = crate::batch::BatchKernel::new(
+                self.graph,
+                &self.layout,
+                self.strategy,
+                &mut programs,
+                &self.batch_status,
+                &union,
+                &masks,
+                &mut next,
+            );
+            run_kernel(&mut self.machine, &mut kernel);
+            *total_launches += 1;
+            for &q in &active {
+                self.apply_device_work(&mut programs[q], &mut work);
+            }
+            let mut iter_stats = self.machine.finish_run(&iter_snap, 1);
+            if let (Some(tm), Some(base)) = (&self.transfer, iter_transfer_base) {
+                iter_stats.transfer = tm.stats - base;
+            }
+            for &q in &active {
+                per_stats[q].accumulate(&iter_stats);
+            }
+            for &q in &active {
+                next[q].sort_unstable();
+                next[q].dedup();
+                std::mem::swap(&mut frontiers[q], &mut next[q]);
+                next[q].clear();
+            }
+        }
+        programs
+            .into_iter()
+            .zip(per_stats)
+            .map(|(p, stats)| Run {
+                output: p.finish(),
+                stats,
+            })
+            .collect()
     }
 
     /// Full BFS from `src`; one kernel launch per level.

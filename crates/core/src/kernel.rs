@@ -53,14 +53,20 @@ impl WorkList<'_> {
 pub enum ProgramTask<C> {
     /// Merged/aligned: a warp on one vertex.
     Warp {
+        /// The vertex this warp expands.
         v: VertexId,
-        ctx: Option<C>,
+        /// The vertex's iteration-start context.
+        ctx: C,
+        /// Neighbour-list sweep state (`None` until the offsets loaded).
         walk: Option<WarpWalk>,
     },
     /// Naive: 32 lanes on 32 vertices.
     Lanes {
+        /// The vertices, one per lane.
         vs: Vec<VertexId>,
+        /// Their iteration-start contexts, parallel to `vs`.
         ctxs: Vec<C>,
+        /// Per-lane cursor state (`None` until the offsets loaded).
         walk: Option<LaneWalk>,
     },
 }
@@ -72,6 +78,13 @@ pub struct ProgramKernel<'a, P: VertexProgram> {
     strategy: AccessStrategy,
     program: &'a mut P,
     work: WorkList<'a>,
+    /// Per-work-item contexts, captured at kernel construction (i.e. at
+    /// iteration start) so a launch's semantics are a pure function of
+    /// the iteration-start program state — independent of how warp tasks
+    /// interleave in the simulated machine. This is what makes batched
+    /// multi-query execution ([`crate::batch`]) bit-identical to
+    /// sequential runs.
+    ctxs: Vec<P::Ctx>,
     /// Vertices activated this launch (frontier-driven programs).
     next_frontier: &'a mut Vec<VertexId>,
     pos: usize,
@@ -85,6 +98,8 @@ pub struct ProgramKernel<'a, P: VertexProgram> {
 }
 
 impl<'a, P: VertexProgram> ProgramKernel<'a, P> {
+    /// Build one launch of `program` over `work`. Captures every work
+    /// item's [`VertexProgram::source_ctx`] up front (iteration start).
     pub fn new(
         graph: &'a CsrGraph,
         layout: &'a GraphLayout,
@@ -102,12 +117,16 @@ impl<'a, P: VertexProgram> ProgramKernel<'a, P> {
         }
         let source_status = program.reads_source_status();
         let collect_activations = matches!(work, WorkList::Frontier(_));
+        let ctxs = (0..work.len())
+            .map(|i| program.source_ctx(work.get(i)))
+            .collect();
         Self {
             graph,
             layout,
             strategy,
             program,
             work,
+            ctxs,
             next_frontier,
             pos: 0,
             loaded_scratch: Vec::with_capacity(WARP_SIZE),
@@ -119,19 +138,14 @@ impl<'a, P: VertexProgram> ProgramKernel<'a, P> {
 
     /// Task-start loads for vertex `v`: the two CSR offsets, and the own
     /// status entry for programs that read it. Returns the neighbour
-    /// range and the captured context.
-    fn open_vertex(&mut self, v: VertexId, batch: &mut AccessBatch) -> (u64, u64, P::Ctx) {
+    /// range.
+    fn open_vertex(&mut self, v: VertexId, batch: &mut AccessBatch) -> (u64, u64) {
         batch.load(self.layout.vertex_addr(u64::from(v)), 8, Space::Device);
         batch.load(self.layout.vertex_addr(u64::from(v) + 1), 8, Space::Device);
         if self.source_status {
             batch.load(self.layout.status_addr(u64::from(v)), 4, Space::Device);
         }
-        let ctx = self.program.source_ctx(v);
-        (
-            self.graph.neighbor_start(v),
-            self.graph.neighbor_end(v),
-            ctx,
-        )
+        (self.graph.neighbor_start(v), self.graph.neighbor_end(v))
     }
 
     /// Process the semantics of edge-list element `i` from source `src`:
@@ -178,19 +192,17 @@ impl<P: VertexProgram> Kernel for ProgramKernel<'_, P> {
         }
         if self.strategy.warp_per_vertex() {
             let v = self.work.get(self.pos);
+            let ctx = self.ctxs[self.pos];
             self.pos += 1;
-            Some(ProgramTask::Warp {
-                v,
-                ctx: None,
-                walk: None,
-            })
+            Some(ProgramTask::Warp { v, ctx, walk: None })
         } else {
             let hi = (self.pos + WARP_SIZE).min(n);
             let vs: Vec<VertexId> = (self.pos..hi).map(|i| self.work.get(i)).collect();
+            let ctxs = self.ctxs[self.pos..hi].to_vec();
             self.pos = hi;
             Some(ProgramTask::Lanes {
                 vs,
-                ctxs: Vec::new(),
+                ctxs,
                 walk: None,
             })
         }
@@ -200,8 +212,7 @@ impl<P: VertexProgram> Kernel for ProgramKernel<'_, P> {
         match task {
             ProgramTask::Warp { v, ctx, walk } => {
                 let Some(w) = walk else {
-                    let (start, end, c) = self.open_vertex(*v, batch);
-                    *ctx = Some(c);
+                    let (start, end) = self.open_vertex(*v, batch);
                     if start == end {
                         return StepOutcome::Done;
                     }
@@ -212,7 +223,7 @@ impl<P: VertexProgram> Kernel for ProgramKernel<'_, P> {
                 if self.edge_data {
                     WarpWalk::emit_weights(self.layout, batch, lo, hi);
                 }
-                let c = ctx.expect("ctx captured at task start");
+                let c = *ctx;
                 let src = *v;
                 for i in lo..hi {
                     self.visit_edge(i, src, c, 128, batch);
@@ -227,8 +238,7 @@ impl<P: VertexProgram> Kernel for ProgramKernel<'_, P> {
                 let Some(w) = walk else {
                     let mut ranges = Vec::with_capacity(vs.len());
                     for &v in vs.iter() {
-                        let (start, end, c) = self.open_vertex(v, batch);
-                        ctxs.push(c);
+                        let (start, end) = self.open_vertex(v, batch);
                         ranges.push((start, end));
                     }
                     let lw = LaneWalk::new(&ranges);

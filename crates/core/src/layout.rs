@@ -20,6 +20,7 @@ pub enum EdgePlacement {
 }
 
 impl EdgePlacement {
+    /// The simulated address space this placement maps to.
     pub fn space(self) -> Space {
         match self {
             EdgePlacement::ZeroCopyHost => Space::HostPinned,
@@ -27,6 +28,7 @@ impl EdgePlacement {
         }
     }
 
+    /// Display name of the placement.
     pub fn name(self) -> &'static str {
         match self {
             EdgePlacement::ZeroCopyHost => "zero-copy",

@@ -55,6 +55,9 @@
 //! assert!((pr.ranks.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod batch;
 pub mod bfs;
 pub mod cc;
 pub mod compressed;
@@ -68,6 +71,7 @@ pub mod strategy;
 pub mod toy;
 pub mod walk;
 
+pub use batch::{BatchKernel, BatchRun, MAX_BATCH_QUERIES};
 pub use bfs::{BfsOutput, BfsProgram};
 pub use cc::{CcOutput, CcProgram};
 pub use engine::{BfsRun, CcRun, Engine, EngineConfig, PageRankRun, Run, SsspRun, TraversalConfig};

@@ -24,7 +24,9 @@ use emogi_graph::{CsrGraph, VertexId};
 /// power iterations run.
 #[derive(Debug, Clone)]
 pub struct PageRankOutput {
+    /// Per-vertex rank; sums to ~1 on connected graphs.
     pub ranks: Vec<f64>,
+    /// Power iterations actually run.
     pub iterations: u32,
 }
 
@@ -46,6 +48,7 @@ pub struct PageRankProgram {
 }
 
 impl PageRankProgram {
+    /// `iterations` damped power iterations over `graph`.
     pub fn new(graph: &CsrGraph, damping: f64, iterations: u32) -> Self {
         assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
         assert!(iterations > 0, "at least one iteration");

@@ -107,7 +107,10 @@ pub enum EdgeEffect {
     /// relaxation, PageRank's atomicAdd). `activate` puts the destination
     /// on the next frontier; full-sweep launches re-enumerate every
     /// vertex anyway, so they ignore it.
-    UpdateDst { activate: bool },
+    UpdateDst {
+        /// Whether the destination joins the next frontier.
+        activate: bool,
+    },
     /// The *source's* status entry was written — CC's hook adopts the
     /// smaller neighbour label into the source.
     UpdateSrc,
@@ -180,8 +183,12 @@ pub trait VertexProgram {
     /// its changed flag, PageRank snapshots contributions).
     fn begin_iteration(&mut self) {}
 
-    /// Capture the per-source context at task start. Called after the
-    /// task's offset/status loads are emitted.
+    /// Capture the per-source context for vertex `v`. Called once per
+    /// work item at **iteration start** (kernel construction), before any
+    /// [`edge`](Self::edge) call of that iteration runs — so a launch's
+    /// semantics are a pure function of the iteration-start state, which
+    /// is what lets batched multi-query execution reproduce sequential
+    /// results bit for bit.
     fn source_ctx(&self, v: VertexId) -> Self::Ctx;
 
     /// Process edge-list element `i` (`src → dst`, with the source's

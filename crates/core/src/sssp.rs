@@ -18,6 +18,7 @@ pub const INF: u32 = u32::MAX;
 /// SSSP result: per-vertex distances ([`INF`] when unreachable).
 #[derive(Debug, Clone)]
 pub struct SsspOutput {
+    /// Per-vertex shortest distance; [`INF`] for unreachable vertices.
     pub dist: Vec<u32>,
 }
 
@@ -31,6 +32,7 @@ pub struct SsspProgram<'w> {
 }
 
 impl<'w> SsspProgram<'w> {
+    /// An SSSP from `src` over `graph`, with one weight per edge.
     pub fn new(graph: &CsrGraph, weights: &'w [u32], src: VertexId) -> Self {
         assert_eq!(weights.len(), graph.num_edges(), "one weight per edge");
         let mut dist = vec![INF; graph.num_vertices()];

@@ -20,6 +20,7 @@ pub enum AccessStrategy {
 }
 
 impl AccessStrategy {
+    /// Every strategy, in the paper's Naive → Merged → Aligned order.
     pub fn all() -> [AccessStrategy; 3] {
         [
             AccessStrategy::Naive,
@@ -28,6 +29,7 @@ impl AccessStrategy {
         ]
     }
 
+    /// The paper's display name for this strategy.
     pub fn name(self) -> &'static str {
         match self {
             AccessStrategy::Naive => "Naive",
@@ -59,14 +61,18 @@ impl AccessStrategy {
 /// zero-copy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessMode {
+    /// Pure zero-copy with the [`AccessStrategy::Naive`] kernels.
     Naive,
+    /// Pure zero-copy with the [`AccessStrategy::Merged`] kernels.
     Merged,
+    /// Pure zero-copy with the [`AccessStrategy::MergedAligned`] kernels.
     MergedAligned,
     /// Merged+Aligned kernels over a per-region zero-copy/DMA mix.
     Hybrid,
 }
 
 impl AccessMode {
+    /// Every mode, the three §5 zero-copy strategies then Hybrid.
     pub fn all() -> [AccessMode; 4] {
         [
             AccessMode::Naive,
@@ -90,6 +96,7 @@ impl AccessMode {
         matches!(self, AccessMode::Hybrid)
     }
 
+    /// Display name of the mode.
     pub fn name(self) -> &'static str {
         match self {
             AccessMode::Hybrid => "Hybrid",

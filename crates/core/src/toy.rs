@@ -26,6 +26,7 @@ pub enum ToyPattern {
 }
 
 impl ToyPattern {
+    /// Every pattern, in Figure 3 order.
     pub fn all() -> [ToyPattern; 3] {
         [
             ToyPattern::Strided,
@@ -34,6 +35,7 @@ impl ToyPattern {
         ]
     }
 
+    /// The Figure 3/4 label of this pattern.
     pub fn name(self) -> &'static str {
         match self {
             ToyPattern::Strided => "Strided",
@@ -133,6 +135,7 @@ impl Kernel for ToyKernel {
 /// Measured outcome of one toy run (one bar group of Figure 4).
 #[derive(Debug, Clone)]
 pub struct ToyRun {
+    /// The pattern's Figure 4 label.
     pub label: &'static str,
     /// Average host→GPU payload bandwidth (Figure 4's "PCIe" number).
     pub pcie_gbps: f64,
@@ -141,6 +144,7 @@ pub struct ToyRun {
     /// Host→GPU bandwidth over time, (window start ns, GB/s) — the
     /// VTune-style trace of Figure 4.
     pub series: Vec<(u64, f64)>,
+    /// The run's full measurements.
     pub stats: RunStats,
 }
 

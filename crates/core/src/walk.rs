@@ -20,6 +20,7 @@ pub struct WarpWalk {
 }
 
 impl WarpWalk {
+    /// A warp sweep over elements `[start, end)` under `strategy`.
     pub fn new(start: u64, end: u64, strategy: AccessStrategy, layout: &GraphLayout) -> Self {
         debug_assert!(strategy.warp_per_vertex());
         Self {
@@ -29,6 +30,7 @@ impl WarpWalk {
         }
     }
 
+    /// Whether the sweep has covered the whole range.
     pub fn is_done(&self) -> bool {
         self.cursor >= self.end
     }
@@ -72,6 +74,7 @@ pub struct LaneWalk {
 }
 
 impl LaneWalk {
+    /// A per-lane walk over up to 32 independent element ranges.
     pub fn new(ranges: &[(u64, u64)]) -> Self {
         assert!(ranges.len() <= WARP_SIZE);
         let mut lanes = [(0u64, 0u64); WARP_SIZE];
@@ -85,6 +88,7 @@ impl LaneWalk {
         Self { lanes, active }
     }
 
+    /// Whether every lane has exhausted its range.
     pub fn is_done(&self) -> bool {
         self.active == 0
     }

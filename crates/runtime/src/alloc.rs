@@ -29,6 +29,8 @@ pub struct AddressSpaces {
 }
 
 impl AddressSpaces {
+    /// Fresh spaces for a machine with `device_capacity` bytes of device
+    /// memory.
     pub fn new(device_capacity: u64) -> Self {
         Self {
             device_cursor: DEVICE_BASE,
@@ -82,6 +84,7 @@ impl AddressSpaces {
         self.device_capacity.saturating_sub(self.device_used())
     }
 
+    /// Total (scaled) device memory capacity.
     pub fn device_capacity(&self) -> u64 {
         self.device_capacity
     }

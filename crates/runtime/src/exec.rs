@@ -46,6 +46,7 @@ pub enum StepOutcome {
 /// memory traffic of that step in `batch`. The executor prices the traffic;
 /// the results stay in the kernel for verification.
 pub trait Kernel {
+    /// Per-work-item state carried between steps.
     type Task;
 
     /// Next work item, or `None` when the grid is exhausted.

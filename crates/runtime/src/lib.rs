@@ -17,6 +17,8 @@
 //! * [`report`] — per-kernel and per-run statistics;
 //! * [`util`] — small fast-hash map used on the hot path.
 
+#![warn(missing_docs)]
+
 pub mod alloc;
 pub mod exec;
 pub mod machine;

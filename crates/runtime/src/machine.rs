@@ -15,8 +15,11 @@ use emogi_uvm::{UvmConfig, UvmDriver};
 /// Everything needed to assemble a [`Machine`].
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
+    /// The GPU model (SIMT limits, cache, HBM, device capacity).
     pub gpu: GpuConfig,
+    /// The host↔GPU interconnect.
     pub pcie: PcieConfig,
+    /// The host memory behind the link.
     pub host_dram: DramConfig,
     /// Template for the UVM driver (pool size is filled in from leftover
     /// device memory when the first managed allocation is made).
@@ -72,14 +75,23 @@ impl MachineConfig {
 /// place; experiments read the monitors afterwards.
 #[derive(Debug)]
 pub struct Machine {
+    /// The configuration the machine was assembled from.
     pub cfg: MachineConfig,
+    /// The PCIe link with its tag pool and queueing model.
     pub link: PcieLink,
+    /// Host DRAM serving zero-copy reads and DMA sources.
     pub host_dram: Dram,
+    /// The GPU's device memory.
     pub hbm: Dram,
+    /// Unified sectored cache in front of HBM and the PCIe path.
     pub cache: SectoredCache,
+    /// The FPGA-style PCIe traffic monitor (§3.2).
     pub monitor: TrafficMonitor,
+    /// The bulk-copy engine (`cudaMemcpy`, UVM migration batches).
     pub dma: DmaEngine,
+    /// The simulated address-space allocators.
     pub spaces: AddressSpaces,
+    /// The UVM driver, initialized before the first managed kernel.
     pub uvm: Option<UvmDriver>,
     /// Simulated wall clock, advanced by kernels and copies.
     pub now: Time,
@@ -101,6 +113,7 @@ pub struct Snapshot {
 }
 
 impl Machine {
+    /// Assemble a machine from `cfg`, at time 0, with nothing allocated.
     pub fn new(cfg: MachineConfig) -> Self {
         Self {
             link: PcieLink::new(cfg.pcie.clone()),
@@ -230,6 +243,7 @@ impl Machine {
             // The transfer manager lives outside the machine; whoever owns
             // one (the engine) overwrites this with the per-run diff.
             transfer: crate::transfer::TransferStats::default(),
+            shared_fetch: false,
         }
     }
 }

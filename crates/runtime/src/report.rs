@@ -15,9 +15,11 @@ pub struct KernelReport {
     pub tasks: u64,
     /// Warp steps executed.
     pub steps: u64,
-    /// Coalesced transactions by space.
+    /// Coalesced device-space transactions.
     pub device_txns: u64,
+    /// Coalesced pinned-host (zero-copy) transactions.
     pub host_txns: u64,
+    /// Coalesced managed-space transactions.
     pub managed_txns: u64,
     /// Host transactions that were satisfied by attaching to an already
     /// in-flight request (MSHR merges).
@@ -27,6 +29,7 @@ pub struct KernelReport {
 }
 
 impl KernelReport {
+    /// Launch-to-drain time of the kernel.
     pub fn elapsed(&self) -> Time {
         self.end - self.start
     }
@@ -41,22 +44,31 @@ pub struct RunStats {
     /// Kernel launches ("the total number of kernels launched ... is equal
     /// to the distance from the source vertex", §4.2).
     pub kernel_launches: u64,
-    /// Zero-copy PCIe read requests and their size mix (Figures 5 & 7).
+    /// Zero-copy PCIe read requests (Figure 5).
     pub pcie_read_requests: u64,
+    /// Their size mix (Figure 7).
     pub request_sizes: SizeHistogram,
     /// Host→GPU payload bytes: zero-copy reads plus DMA/migrations
     /// (Figure 10's numerator).
     pub host_bytes: u64,
     /// Average achieved PCIe bandwidth over the run, GB/s (Figure 8).
     pub avg_pcie_gbps: f64,
-    /// UVM page faults and migrations (zero for EMOGI engines).
+    /// UVM page faults (zero for EMOGI engines).
     pub page_faults: u64,
+    /// UVM pages migrated to the device (zero for EMOGI engines).
     pub pages_migrated: u64,
     /// Host DRAM traffic (Figure 4's DRAM lane).
     pub host_dram_bytes: u64,
     /// Hybrid transfer-manager counters for this run; all-zero for runs
     /// that never stage (pure zero-copy, UVM).
     pub transfer: TransferStats,
+    /// `true` when these counters describe traffic *shared* with other
+    /// queries of a batched multi-query execution: the merged edge fetch
+    /// is accounted once globally (in the batch-level stats) and every
+    /// query that was active in an iteration absorbs that iteration's
+    /// totals, so summing flagged stats across queries double-counts the
+    /// shared bytes by design. Always `false` for solo runs.
+    pub shared_fetch: bool,
 }
 
 impl RunStats {
@@ -67,6 +79,28 @@ impl RunStats {
         } else {
             self.host_bytes as f64 / dataset_bytes as f64
         }
+    }
+
+    /// Fold one iteration's measurements into a running per-query total
+    /// (batched execution attributes each iteration's machine diff to
+    /// every query active in it). Counters add, the size histogram
+    /// merges, and the average bandwidth is re-derived from the summed
+    /// bytes and time.
+    pub fn accumulate(&mut self, iteration: &RunStats) {
+        self.elapsed_ns += iteration.elapsed_ns;
+        self.kernel_launches += iteration.kernel_launches;
+        self.pcie_read_requests += iteration.pcie_read_requests;
+        self.request_sizes.merge(&iteration.request_sizes);
+        self.host_bytes += iteration.host_bytes;
+        self.page_faults += iteration.page_faults;
+        self.pages_migrated += iteration.pages_migrated;
+        self.host_dram_bytes += iteration.host_dram_bytes;
+        self.transfer += iteration.transfer;
+        self.avg_pcie_gbps = if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.host_bytes as f64 / self.elapsed_ns as f64
+        };
     }
 }
 

@@ -35,6 +35,7 @@ pub struct TransferConfig {
     /// Device-pool budget for staged regions; `None` takes all device
     /// memory still free after the explicit allocations.
     pub pool_bytes: Option<u64>,
+    /// The stage-or-stay-zero-copy decision policy.
     pub policy: TransferPolicyConfig,
 }
 
@@ -70,10 +71,12 @@ impl RegionMap {
         }
     }
 
+    /// Regions the watched array is divided into.
     pub fn num_regions(&self) -> usize {
         self.table.len()
     }
 
+    /// Regions currently staged on the device.
     pub fn staged_regions(&self) -> usize {
         self.table.iter().filter(|&&d| d != UNMAPPED).count()
     }
@@ -133,6 +136,8 @@ pub struct TransferManager {
     /// Scratch: regions with nonzero `upcoming`, in first-touch order.
     touched: Vec<u32>,
     pool_left: u64,
+    /// Monotonically growing lifetime counters; snapshot and diff for
+    /// per-run reporting.
     pub stats: TransferStats,
 }
 
@@ -163,22 +168,36 @@ impl TransferManager {
         }
     }
 
+    /// Regions the watched array is divided into.
     pub fn num_regions(&self) -> usize {
         self.table.len()
     }
 
+    /// Region granularity in bytes.
     pub fn region_bytes(&self) -> u64 {
         self.region_bytes
     }
 
+    /// Device-pool bytes still available for staging.
     pub fn pool_left(&self) -> u64 {
         self.pool_left
     }
 
+    /// Inform the manager that `bytes` of device memory were allocated
+    /// outside it after construction (e.g. the engine's batch-query
+    /// status arrays): the staging pool shrinks accordingly, so the
+    /// combined usage never exceeds the device capacity. Saturates at
+    /// zero — staging then simply falls back to zero-copy.
+    pub fn reserve(&mut self, bytes: u64) {
+        self.pool_left = self.pool_left.saturating_sub(bytes.div_ceil(128) * 128);
+    }
+
+    /// Whether `region` has been staged into device memory.
     pub fn is_staged(&self, region: usize) -> bool {
         self.table[region] != UNMAPPED
     }
 
+    /// Regions staged so far over the manager's lifetime.
     pub fn staged_regions(&self) -> usize {
         self.stats.staged_regions as usize
     }

@@ -1,0 +1,34 @@
+//! # emogi-serve — concurrent query serving over a shared placement
+//!
+//! EMOGI ([`emogi_core`]) makes every PCIe cache line count; this crate
+//! makes *concurrent* queries share those cache lines. A [`QueryServer`]
+//! fronts one place-once [`Engine`](emogi_core::Engine):
+//!
+//! * **admission control** — [`QueryServer::submit`] bounds the pending
+//!   queue and validates queries up front ([`SubmitError`]);
+//! * **scheduling** — [`scheduler::next_batch`] groups compatible
+//!   pending queries (same program kind, same graph by construction)
+//!   into a [`QueryBatch`], FIFO-fair across kinds;
+//! * **batched execution** — each batch runs as one
+//!   [`Engine::run_batch`](emogi_core::Engine::run_batch) call: per
+//!   iteration the queries' frontiers merge and each edge-list region
+//!   crosses PCIe once, serving every query that touches it.
+//!
+//! Batched results are bit-identical — outputs *and* iteration counts —
+//! to running the same queries sequentially; per-query
+//! [`RunStats`](emogi_runtime::RunStats) stay attributable, with shared
+//! iteration traffic flagged via
+//! [`shared_fetch`](emogi_runtime::RunStats::shared_fetch). The
+//! `serve` experiment in `emogi_bench` measures the payoff: fewer total
+//! PCIe bytes and higher queries/sec than sequential execution on
+//! overlapping-frontier workloads.
+
+#![warn(missing_docs)]
+
+pub mod query;
+pub mod scheduler;
+pub mod server;
+
+pub use query::{Query, QueryId, QueryKind, QueryResult, SubmitError};
+pub use scheduler::{next_batch, QueryBatch};
+pub use server::{QueryServer, ServerConfig, ServerStats};

@@ -1,0 +1,177 @@
+//! Query descriptions, handles and results.
+
+use emogi_core::{BfsOutput, Run, SsspOutput};
+use emogi_graph::VertexId;
+use std::sync::Arc;
+
+/// Opaque handle returned by
+/// [`QueryServer::submit`](crate::QueryServer::submit); redeem it with
+/// [`QueryServer::take`](crate::QueryServer::take) once the query ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub(crate) u64);
+
+/// A frontier-driven query against the server's shared placement.
+///
+/// Only frontier-driven programs batch (their per-iteration frontiers
+/// merge); full-sweep analytics (CC, PageRank) read the whole edge list
+/// every launch anyway and run solo via
+/// [`Engine`](emogi_core::Engine) directly.
+#[derive(Debug, Clone)]
+pub enum Query {
+    /// Breadth-first search from a source vertex.
+    Bfs {
+        /// The BFS root.
+        src: VertexId,
+    },
+    /// Single-source shortest paths from a source vertex with one 4-byte
+    /// weight per edge.
+    Sssp {
+        /// The SSSP root.
+        src: VertexId,
+        /// Per-edge weights, shared cheaply between queries over the
+        /// same weight assignment.
+        weights: Arc<Vec<u32>>,
+    },
+}
+
+impl Query {
+    /// A BFS query from `src`.
+    pub fn bfs(src: VertexId) -> Self {
+        Query::Bfs { src }
+    }
+
+    /// An SSSP query from `src` over `weights`.
+    pub fn sssp(src: VertexId, weights: Arc<Vec<u32>>) -> Self {
+        Query::Sssp { src, weights }
+    }
+
+    /// The compatibility kind the scheduler groups by.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::Bfs { .. } => QueryKind::Bfs,
+            Query::Sssp { .. } => QueryKind::Sssp,
+        }
+    }
+
+    /// The query's source vertex.
+    pub fn src(&self) -> VertexId {
+        match self {
+            Query::Bfs { src } | Query::Sssp { src, .. } => *src,
+        }
+    }
+}
+
+/// Program type of a query — the scheduler's compatibility key: only
+/// queries of the same kind (and, by construction of a server, the same
+/// graph and placement) share a [`QueryBatch`](crate::QueryBatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Breadth-first search.
+    Bfs,
+    /// Single-source shortest paths.
+    Sssp,
+}
+
+impl QueryKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Bfs => "BFS",
+            QueryKind::Sssp => "SSSP",
+        }
+    }
+}
+
+/// A finished query: the program output plus the run's measurements.
+///
+/// Stats of batched queries are flagged
+/// [`shared_fetch`](emogi_runtime::RunStats::shared_fetch): their PCIe
+/// counters describe iteration traffic that also served the other
+/// queries of the batch.
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    /// A finished BFS.
+    Bfs(Run<BfsOutput>),
+    /// A finished SSSP.
+    Sssp(Run<SsspOutput>),
+}
+
+impl QueryResult {
+    /// The kind of query this result came from.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            QueryResult::Bfs(_) => QueryKind::Bfs,
+            QueryResult::Sssp(_) => QueryKind::Sssp,
+        }
+    }
+
+    /// The run's measurements, whichever program produced them.
+    pub fn stats(&self) -> &emogi_runtime::RunStats {
+        match self {
+            QueryResult::Bfs(r) => &r.stats,
+            QueryResult::Sssp(r) => &r.stats,
+        }
+    }
+
+    /// Unwrap a BFS result; panics on a different kind.
+    pub fn into_bfs(self) -> Run<BfsOutput> {
+        match self {
+            QueryResult::Bfs(r) => r,
+            other => panic!("expected a BFS result, got {:?}", other.kind()),
+        }
+    }
+
+    /// Unwrap an SSSP result; panics on a different kind.
+    pub fn into_sssp(self) -> Run<SsspOutput> {
+        match self {
+            QueryResult::Sssp(r) => r,
+            other => panic!("expected an SSSP result, got {:?}", other.kind()),
+        }
+    }
+}
+
+/// Why the server refused a submission (admission control).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pending queue is at its configured capacity; retry after
+    /// [`run_pending`](crate::QueryServer::run_pending).
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The query's source vertex is not in the graph.
+    SourceOutOfRange {
+        /// The offending source.
+        src: VertexId,
+        /// The graph's vertex count.
+        num_vertices: usize,
+    },
+    /// An SSSP query's weight array does not have one weight per edge.
+    WeightCountMismatch {
+        /// Weights provided.
+        got: usize,
+        /// Edges in the graph.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "pending queue full ({capacity} queries)")
+            }
+            SubmitError::SourceOutOfRange { src, num_vertices } => {
+                write!(
+                    f,
+                    "source {src} out of range (graph has {num_vertices} vertices)"
+                )
+            }
+            SubmitError::WeightCountMismatch { got, want } => {
+                write!(f, "got {got} weights for {want} edges")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}

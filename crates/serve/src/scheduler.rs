@@ -1,0 +1,122 @@
+//! The compatibility scheduler: group pending queries into batches.
+//!
+//! A [`QueryBatch`] holds queries that can execute as one
+//! [`Engine::run_batch`](emogi_core::Engine::run_batch) call: same
+//! program kind — and, because a server owns exactly one engine, the
+//! same graph and placement. Scheduling is FIFO-fair and greedy: the
+//! oldest pending query anchors the batch, then every other pending
+//! query of the same kind joins in submission order until the batch cap
+//! is reached. Queries of other kinds keep their queue positions, so a
+//! burst of one kind cannot starve the other.
+
+use crate::query::{Query, QueryId, QueryKind};
+use std::collections::VecDeque;
+
+/// A group of compatible queries scheduled to execute together.
+#[derive(Debug, Clone)]
+pub struct QueryBatch {
+    /// The common program kind.
+    pub kind: QueryKind,
+    /// The member queries with their handles, in submission order.
+    pub queries: Vec<(QueryId, Query)>,
+}
+
+impl QueryBatch {
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch is empty (never produced by the scheduler).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Pop the next batch off `queue`: the oldest query plus up to
+/// `max_batch - 1` later queries of the same kind, preserving order.
+/// Returns `None` when the queue is empty.
+pub fn next_batch(queue: &mut VecDeque<(QueryId, Query)>, max_batch: usize) -> Option<QueryBatch> {
+    let max_batch = max_batch.max(1);
+    let kind = queue.front()?.1.kind();
+    let mut queries = Vec::new();
+    let mut rest = VecDeque::with_capacity(queue.len());
+    while let Some((id, q)) = queue.pop_front() {
+        if q.kind() == kind && queries.len() < max_batch {
+            queries.push((id, q));
+        } else {
+            rest.push_back((id, q));
+        }
+    }
+    *queue = rest;
+    Some(QueryBatch { kind, queries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn q(id: u64, query: Query) -> (QueryId, Query) {
+        (QueryId(id), query)
+    }
+
+    fn weights() -> Arc<Vec<u32>> {
+        Arc::new(vec![1, 2, 3])
+    }
+
+    #[test]
+    fn batches_group_by_kind_preserving_fifo_order() {
+        let mut queue: VecDeque<_> = vec![
+            q(0, Query::bfs(1)),
+            q(1, Query::sssp(2, weights())),
+            q(2, Query::bfs(3)),
+            q(3, Query::bfs(4)),
+            q(4, Query::sssp(5, weights())),
+        ]
+        .into();
+        let b = next_batch(&mut queue, 16).unwrap();
+        assert_eq!(b.kind, QueryKind::Bfs);
+        assert_eq!(
+            b.queries.iter().map(|(id, _)| id.0).collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        let b = next_batch(&mut queue, 16).unwrap();
+        assert_eq!(b.kind, QueryKind::Sssp);
+        assert_eq!(
+            b.queries.iter().map(|(id, _)| id.0).collect::<Vec<_>>(),
+            vec![1, 4]
+        );
+        assert!(next_batch(&mut queue, 16).is_none());
+    }
+
+    #[test]
+    fn batch_cap_leaves_overflow_queued_in_order() {
+        let mut queue: VecDeque<_> = (0..5).map(|i| q(i, Query::bfs(i as u32))).collect();
+        let b = next_batch(&mut queue, 2).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(queue.len(), 3);
+        assert_eq!(queue.front().unwrap().0, QueryId(2));
+        let b = next_batch(&mut queue, 2).unwrap();
+        assert_eq!(
+            b.queries.iter().map(|(id, _)| id.0).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn interleaved_kinds_do_not_starve() {
+        let mut queue: VecDeque<_> = vec![
+            q(0, Query::sssp(0, weights())),
+            q(1, Query::bfs(1)),
+            q(2, Query::sssp(2, weights())),
+        ]
+        .into();
+        // The oldest query anchors the batch even when a later kind has
+        // more members.
+        let b = next_batch(&mut queue, 16).unwrap();
+        assert_eq!(b.kind, QueryKind::Sssp);
+        assert_eq!(b.len(), 2);
+        assert_eq!(queue.front().unwrap().0, QueryId(1));
+    }
+}

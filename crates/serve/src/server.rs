@@ -1,0 +1,374 @@
+//! The query server: admission control, scheduling, batched execution.
+
+use crate::query::{Query, QueryId, QueryKind, QueryResult, SubmitError};
+use crate::scheduler::{next_batch, QueryBatch};
+use emogi_core::{BfsProgram, Engine, SsspProgram};
+use std::collections::{BTreeMap, VecDeque};
+
+/// How a [`QueryServer`] admits and batches queries.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum queries per [`QueryBatch`]; clamped to
+    /// [`MAX_BATCH_QUERIES`](emogi_core::MAX_BATCH_QUERIES). A batch of
+    /// one runs exactly like a solo [`Engine::run`](emogi_core::Engine)
+    /// call.
+    pub max_batch: usize,
+    /// Admission control: pending queries beyond this are rejected with
+    /// [`SubmitError::QueueFull`] until the queue drains.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Cumulative serving counters, kept since server construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Queries accepted by [`QueryServer::submit`].
+    pub submitted: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Queries executed to completion.
+    pub served: u64,
+    /// Batches executed (a solo query still counts as one batch).
+    pub batches: u64,
+    /// Queries that shared their batch with at least one other query.
+    pub batched_queries: u64,
+    /// Simulated time spent executing batches, ns.
+    pub busy_ns: u64,
+    /// Host→GPU bytes moved while serving (batch-level totals, each
+    /// shared fetch counted once).
+    pub host_bytes: u64,
+}
+
+impl ServerStats {
+    /// Serving throughput over the simulated busy time, queries/second.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.busy_ns == 0 {
+            0.0
+        } else {
+            self.served as f64 / (self.busy_ns as f64 * 1e-9)
+        }
+    }
+}
+
+/// A concurrent-query front end over one place-once [`Engine`].
+///
+/// Submissions pass admission control (queue bound, source range, weight
+/// arity) and queue FIFO; [`run_pending`](Self::run_pending) lets the
+/// scheduler group compatible queries into batches and executes each
+/// batch as one [`Engine::run_batch`] call, so overlapping frontiers
+/// share PCIe cache lines. Results are redeemed by handle and are
+/// bit-identical — outputs and iteration counts — to running the same
+/// queries one at a time.
+///
+/// ```
+/// use emogi_core::{Engine, EngineConfig};
+/// use emogi_graph::{algo, generators};
+/// use emogi_serve::{Query, QueryServer, ServerConfig};
+///
+/// let graph = generators::uniform_random(1_000, 8, 7);
+/// let engine = Engine::load(EngineConfig::emogi_v100(), &graph);
+/// let mut server = QueryServer::new(ServerConfig::default(), engine);
+///
+/// let a = server.submit(Query::bfs(0)).unwrap();
+/// let b = server.submit(Query::bfs(42)).unwrap();
+/// assert_eq!(server.run_pending(), 2);
+///
+/// let run = server.take(a).unwrap().into_bfs();
+/// assert_eq!(run.levels, algo::bfs_levels(&graph, 0));
+/// assert!(server.take(b).is_some());
+/// assert_eq!(server.stats().batches, 1, "both queries shared one batch");
+/// ```
+pub struct QueryServer<'g> {
+    engine: Engine<'g>,
+    cfg: ServerConfig,
+    next_id: u64,
+    pending: VecDeque<(QueryId, Query)>,
+    results: BTreeMap<QueryId, QueryResult>,
+    stats: ServerStats,
+}
+
+impl<'g> QueryServer<'g> {
+    /// Wrap an already-loaded engine. The engine's placement is the
+    /// shared resource every accepted query runs against.
+    pub fn new(cfg: ServerConfig, engine: Engine<'g>) -> Self {
+        let cfg = ServerConfig {
+            max_batch: cfg.max_batch.clamp(1, emogi_core::MAX_BATCH_QUERIES),
+            ..cfg
+        };
+        Self {
+            engine,
+            cfg,
+            next_id: 0,
+            pending: VecDeque::new(),
+            results: BTreeMap::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Submit a query. Admission control may refuse it: the pending
+    /// queue is bounded, sources must be in range and SSSP weights must
+    /// have one entry per edge. On success the returned handle redeems
+    /// the result via [`take`](Self::take) after a
+    /// [`run_pending`](Self::run_pending).
+    pub fn submit(&mut self, query: Query) -> Result<QueryId, SubmitError> {
+        let admitted = self.admit(&query);
+        match admitted {
+            Ok(()) => {
+                let id = QueryId(self.next_id);
+                self.next_id += 1;
+                self.pending.push_back((id, query));
+                self.stats.submitted += 1;
+                Ok(id)
+            }
+            Err(e) => {
+                self.stats.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn admit(&self, query: &Query) -> Result<(), SubmitError> {
+        if self.pending.len() >= self.cfg.queue_capacity {
+            return Err(SubmitError::QueueFull {
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        let nv = self.engine.graph().num_vertices();
+        if query.src() as usize >= nv {
+            return Err(SubmitError::SourceOutOfRange {
+                src: query.src(),
+                num_vertices: nv,
+            });
+        }
+        if let Query::Sssp { weights, .. } = query {
+            let want = self.engine.graph().num_edges();
+            if weights.len() != want {
+                return Err(SubmitError::WeightCountMismatch {
+                    got: weights.len(),
+                    want,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Queries waiting for execution.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drain the pending queue: schedule compatible queries into batches
+    /// and execute each as one batched run. Returns the number of
+    /// queries served.
+    pub fn run_pending(&mut self) -> usize {
+        let mut served = 0;
+        while let Some(batch) = next_batch(&mut self.pending, self.cfg.max_batch) {
+            served += batch.len();
+            self.execute(batch);
+        }
+        served
+    }
+
+    fn execute(&mut self, batch: QueryBatch) {
+        let graph = self.engine.graph();
+        let n = batch.len();
+        let batch_stats = match batch.kind {
+            QueryKind::Bfs => {
+                let programs: Vec<BfsProgram> = batch
+                    .queries
+                    .iter()
+                    .map(|(_, q)| BfsProgram::new(graph, q.src()))
+                    .collect();
+                let out = self.engine.run_batch(programs);
+                for ((id, _), run) in batch.queries.iter().zip(out.runs) {
+                    self.results.insert(*id, QueryResult::Bfs(run));
+                }
+                out.stats
+            }
+            QueryKind::Sssp => {
+                let programs: Vec<SsspProgram> = batch
+                    .queries
+                    .iter()
+                    .map(|(_, q)| match q {
+                        Query::Sssp { src, weights } => SsspProgram::new(graph, weights, *src),
+                        Query::Bfs { .. } => unreachable!("scheduler groups by kind"),
+                    })
+                    .collect();
+                let out = self.engine.run_batch(programs);
+                for ((id, _), run) in batch.queries.iter().zip(out.runs) {
+                    self.results.insert(*id, QueryResult::Sssp(run));
+                }
+                out.stats
+            }
+        };
+        self.stats.served += n as u64;
+        self.stats.batches += 1;
+        if n > 1 {
+            self.stats.batched_queries += n as u64;
+        }
+        self.stats.busy_ns += batch_stats.elapsed_ns;
+        self.stats.host_bytes += batch_stats.host_bytes;
+    }
+
+    /// Redeem a finished query's result; `None` while it is still
+    /// pending (or if the handle was already taken).
+    pub fn take(&mut self, id: QueryId) -> Option<QueryResult> {
+        self.results.remove(&id)
+    }
+
+    /// Cumulative serving counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The wrapped engine (e.g. for running solo full-sweep analytics
+    /// against the same placement).
+    pub fn engine_mut(&mut self) -> &mut Engine<'g> {
+        &mut self.engine
+    }
+
+    /// Read access to the wrapped engine.
+    pub fn engine(&self) -> &Engine<'g> {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emogi_core::EngineConfig;
+    use emogi_graph::datasets::generate_weights;
+    use emogi_graph::{algo, generators};
+    use std::sync::Arc;
+
+    fn server(g: &emogi_graph::CsrGraph, cfg: ServerConfig) -> QueryServer<'_> {
+        QueryServer::new(cfg, Engine::load(EngineConfig::emogi_v100(), g))
+    }
+
+    #[test]
+    fn serves_a_mixed_workload_correctly() {
+        let g = generators::uniform_random(500, 6, 11);
+        let w = Arc::new(generate_weights(g.num_edges(), 11));
+        let mut s = server(&g, ServerConfig::default());
+        let b0 = s.submit(Query::bfs(0)).unwrap();
+        let s0 = s.submit(Query::sssp(3, Arc::clone(&w))).unwrap();
+        let b1 = s.submit(Query::bfs(9)).unwrap();
+        assert_eq!(s.pending(), 3);
+        assert_eq!(s.run_pending(), 3);
+        assert_eq!(s.pending(), 0);
+
+        let r = s.take(b0).unwrap().into_bfs();
+        assert_eq!(r.levels, algo::bfs_levels(&g, 0));
+        let r = s.take(b1).unwrap().into_bfs();
+        assert_eq!(r.levels, algo::bfs_levels(&g, 9));
+        let r = s.take(s0).unwrap().into_sssp();
+        let want = algo::sssp_distances(&g, &w, 3);
+        for (v, &expect) in want.iter().enumerate() {
+            let got = if r.dist[v] == u32::MAX {
+                algo::UNREACHABLE
+            } else {
+                u64::from(r.dist[v])
+            };
+            assert_eq!(got, expect, "vertex {v}");
+        }
+
+        // Two batches: {bfs 0, bfs 9} and {sssp 3}.
+        assert_eq!(s.stats().batches, 2);
+        assert_eq!(s.stats().served, 3);
+        assert_eq!(s.stats().batched_queries, 2);
+        assert!(s.stats().queries_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn admission_rejects_bad_queries_and_full_queues() {
+        let g = generators::uniform_random(100, 4, 1);
+        let mut s = server(
+            &g,
+            ServerConfig {
+                queue_capacity: 2,
+                ..ServerConfig::default()
+            },
+        );
+        assert_eq!(
+            s.submit(Query::bfs(1_000)),
+            Err(SubmitError::SourceOutOfRange {
+                src: 1_000,
+                num_vertices: 100
+            })
+        );
+        let short = Arc::new(vec![1u32; 3]);
+        assert!(matches!(
+            s.submit(Query::sssp(0, short)),
+            Err(SubmitError::WeightCountMismatch { got: 3, .. })
+        ));
+        s.submit(Query::bfs(0)).unwrap();
+        s.submit(Query::bfs(1)).unwrap();
+        assert_eq!(
+            s.submit(Query::bfs(2)),
+            Err(SubmitError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(s.stats().rejected, 3);
+        assert_eq!(s.run_pending(), 2);
+        // Queue drained: admission opens again.
+        s.submit(Query::bfs(2)).unwrap();
+    }
+
+    #[test]
+    fn results_are_taken_once_and_ids_are_unique() {
+        let g = generators::uniform_random(200, 4, 2);
+        let mut s = server(&g, ServerConfig::default());
+        let a = s.submit(Query::bfs(0)).unwrap();
+        let b = s.submit(Query::bfs(0)).unwrap();
+        assert_ne!(a, b, "identical queries still get distinct handles");
+        s.run_pending();
+        assert!(s.take(a).is_some());
+        assert!(s.take(a).is_none(), "a result is redeemed once");
+        assert!(s.take(b).is_some());
+    }
+
+    #[test]
+    fn batched_stats_are_flagged_shared_and_solo_ones_are_not() {
+        let g = generators::uniform_random(300, 6, 3);
+        let mut s = server(&g, ServerConfig::default());
+        let a = s.submit(Query::bfs(0)).unwrap();
+        let b = s.submit(Query::bfs(7)).unwrap();
+        s.run_pending();
+        assert!(s.take(a).unwrap().stats().shared_fetch);
+        assert!(s.take(b).unwrap().stats().shared_fetch);
+        let c = s.submit(Query::bfs(9)).unwrap();
+        s.run_pending();
+        assert!(
+            !s.take(c).unwrap().stats().shared_fetch,
+            "a batch of one shares its fetches with nobody"
+        );
+    }
+
+    #[test]
+    fn max_batch_splits_a_burst_into_several_batches() {
+        let g = generators::uniform_random(300, 6, 4);
+        let mut s = server(
+            &g,
+            ServerConfig {
+                max_batch: 3,
+                ..ServerConfig::default()
+            },
+        );
+        let ids: Vec<_> = (0..7)
+            .map(|i| s.submit(Query::bfs(i as u32)).unwrap())
+            .collect();
+        assert_eq!(s.run_pending(), 7);
+        assert_eq!(s.stats().batches, 3, "7 queries at cap 3 → 3+3+1");
+        assert_eq!(s.stats().batched_queries, 6);
+        for id in ids {
+            assert!(s.take(id).is_some());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Concurrent query serving: one shared placement, many simultaneous
+//! queries, shared PCIe cache lines.
+//!
+//! ```text
+//! cargo run --release --example query_server
+//! ```
+//!
+//! A social-network-sized graph is placed once; a burst of reachability
+//! (BFS) and routing (SSSP) queries from many users is submitted to a
+//! [`QueryServer`], whose scheduler groups compatible queries into
+//! batches. Each batch iteration merges the queries' frontiers so every
+//! edge-list region crosses PCIe once and serves all queries touching
+//! it. The same burst is then replayed sequentially on an identical
+//! engine: the outputs are verified bit-identical, and the printed
+//! comparison shows the transfer and throughput win of batching.
+
+use emogi_repro::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let d = DatasetKey::Fs.spec().generate();
+    let graph = &d.graph;
+    let weights = Arc::new(d.weights.clone());
+    println!(
+        "{} — {} members, {} friendships ({} MB of edges vs 16 MiB of GPU memory)\n",
+        d.spec.name,
+        graph.num_vertices(),
+        graph.num_edges() / 2,
+        graph.edge_list_bytes(8) / (1 << 20),
+    );
+
+    // A burst of concurrent user queries: reach from 6 members, route
+    // costs from 4 members.
+    let bfs_sources = d.sources(6);
+    let sssp_sources = d.sources(4);
+
+    // --- batched serving -------------------------------------------------
+    let mut server = QueryServer::new(
+        ServerConfig {
+            max_batch: 16,
+            ..ServerConfig::default()
+        },
+        Engine::load(EngineConfig::emogi_v100(), graph),
+    );
+    let bfs_ids: Vec<_> = bfs_sources
+        .iter()
+        .map(|&s| server.submit(Query::bfs(s)).expect("admitted"))
+        .collect();
+    let sssp_ids: Vec<_> = sssp_sources
+        .iter()
+        .map(|&s| {
+            server
+                .submit(Query::sssp(s, Arc::clone(&weights)))
+                .expect("admitted")
+        })
+        .collect();
+    println!(
+        "submitted {} queries ({} BFS + {} SSSP), {} pending",
+        server.stats().submitted,
+        bfs_ids.len(),
+        sssp_ids.len(),
+        server.pending()
+    );
+    let served = server.run_pending();
+    let st = *server.stats();
+    println!(
+        "served {served} queries in {} batches: {:.2} ms busy, {:.0} queries/s, {:.1} MB over PCIe\n",
+        st.batches,
+        st.busy_ns as f64 / 1e6,
+        st.queries_per_sec(),
+        st.host_bytes as f64 / 1e6,
+    );
+
+    // --- the same burst, sequentially ------------------------------------
+    let mut seq = Engine::load(EngineConfig::emogi_v100(), graph);
+    let mut seq_ns = 0u64;
+    let mut seq_bytes = 0u64;
+    for (&s, id) in bfs_sources.iter().zip(bfs_ids) {
+        let solo = seq.bfs(s);
+        seq_ns += solo.stats.elapsed_ns;
+        seq_bytes += solo.stats.host_bytes;
+        let batched = server.take(id).expect("served").into_bfs();
+        assert_eq!(
+            batched.levels, solo.levels,
+            "BFS {s}: must be bit-identical"
+        );
+        assert_eq!(batched.stats.kernel_launches, solo.stats.kernel_launches);
+        assert!(batched.stats.shared_fetch, "batched stats are flagged");
+    }
+    for (&s, id) in sssp_sources.iter().zip(sssp_ids) {
+        let solo = seq.sssp(&weights, s);
+        seq_ns += solo.stats.elapsed_ns;
+        seq_bytes += solo.stats.host_bytes;
+        let batched = server.take(id).expect("served").into_sssp();
+        assert_eq!(batched.dist, solo.dist, "SSSP {s}: must be bit-identical");
+    }
+    println!(
+        "sequential replay: {:.2} ms, {:.1} MB over PCIe",
+        seq_ns as f64 / 1e6,
+        seq_bytes as f64 / 1e6,
+    );
+    println!(
+        "batching saved {:.1}% of PCIe bytes and ran {:.1}x faster; \
+         every query's output and iteration count matched exactly ✓",
+        100.0 * (seq_bytes.saturating_sub(st.host_bytes)) as f64 / seq_bytes as f64,
+        seq_ns as f64 / st.busy_ns as f64,
+    );
+}

@@ -11,7 +11,10 @@
 //! * [`graph`] — CSR graphs and the Table 2 dataset generators
 //! * [`core`] — EMOGI itself: the place-once, query-many [`core::Engine`]
 //!   and the [`core::VertexProgram`] algorithms (BFS / SSSP / CC /
-//!   PageRank)
+//!   PageRank), plus batched multi-query execution
+//! * [`serve`] — the concurrent-query front end: [`serve::QueryServer`]
+//!   with admission control and a compatibility scheduler that batches
+//!   queries so overlapping frontiers share PCIe cache lines
 //! * [`baselines`] — UVM, HALO-style and Subway-style comparison systems
 //!
 //! Most users want the [`prelude`]:
@@ -30,6 +33,7 @@ pub use emogi_core as core;
 pub use emogi_gpu as gpu;
 pub use emogi_graph as graph;
 pub use emogi_runtime as runtime;
+pub use emogi_serve as serve;
 pub use emogi_sim as sim;
 pub use emogi_uvm as uvm;
 
@@ -42,8 +46,8 @@ pub mod prelude {
     pub use emogi_baselines::{HaloSystem, SubwayMode, SubwaySystem};
     pub use emogi_core::sssp::INF;
     pub use emogi_core::{
-        AccessMode, AccessPattern, AccessStrategy, BfsOutput, BfsProgram, BfsRun, CcOutput,
-        CcProgram, CcRun, DeviceWork, EdgeEffect, EdgePlacement, Engine, EngineConfig,
+        AccessMode, AccessPattern, AccessStrategy, BatchRun, BfsOutput, BfsProgram, BfsRun,
+        CcOutput, CcProgram, CcRun, DeviceWork, EdgeEffect, EdgePlacement, Engine, EngineConfig,
         PageRankOutput, PageRankProgram, PageRankRun, Run, SsspOutput, SsspProgram, SsspRun,
         VertexProgram,
     };
@@ -52,4 +56,7 @@ pub mod prelude {
         UNVISITED,
     };
     pub use emogi_runtime::{Machine, MachineConfig, RunStats, TransferConfig, TransferStats};
+    pub use emogi_serve::{
+        Query, QueryId, QueryKind, QueryResult, QueryServer, ServerConfig, ServerStats, SubmitError,
+    };
 }

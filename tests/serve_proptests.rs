@@ -1,0 +1,129 @@
+//! Property tests for batched multi-query execution: on random graphs
+//! and random query mixes, batched execution is bit-identical — outputs
+//! *and* iteration counts — to sequential per-query runs, across every
+//! access mode (including Hybrid).
+
+use emogi_repro::graph::datasets::generate_weights;
+use emogi_repro::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build_graph(edges: &[(u32, u32)], n: u32) -> CsrGraph {
+    let mut b = EdgeListBuilder::new(n as usize).symmetrize(true);
+    for &(s, d) in edges {
+        b.push(s % n, d % n);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Batched BFS bursts equal sequential runs on arbitrary graphs,
+    /// sources and access modes — outputs, iteration counts, and the
+    /// shared-fetch flagging contract.
+    #[test]
+    fn batched_bfs_is_bit_identical_to_sequential(
+        edges in prop::collection::vec((0u32..96, 0u32..96), 1..400),
+        sources in prop::collection::vec(0u32..96, 1..9),
+        mode_idx in 0usize..4,
+    ) {
+        let g = build_graph(&edges, 96);
+        let mode = AccessMode::all()[mode_idx];
+        let cfg = EngineConfig::emogi_v100().with_mode(mode);
+
+        let mut seq = Engine::load(cfg.clone(), &g);
+        let seq_runs: Vec<BfsRun> = sources.iter().map(|&s| seq.bfs(s)).collect();
+
+        let mut bat = Engine::load(cfg, &g);
+        let batch = bat.run_batch(
+            sources.iter().map(|&s| BfsProgram::new(&g, s)).collect::<Vec<_>>(),
+        );
+
+        for (q, (sr, br)) in seq_runs.iter().zip(&batch.runs).enumerate() {
+            prop_assert_eq!(&br.levels, &sr.levels, "{:?} query {}", mode, q);
+            prop_assert_eq!(
+                br.stats.kernel_launches, sr.stats.kernel_launches,
+                "{:?} query {} iteration count", mode, q
+            );
+            prop_assert_eq!(br.stats.shared_fetch, sources.len() > 1);
+            prop_assert!(!sr.stats.shared_fetch);
+        }
+        prop_assert!(!batch.stats.shared_fetch);
+    }
+
+    /// Same property for SSSP bursts, which also exercise the shared
+    /// auxiliary weight stream and per-query contexts.
+    #[test]
+    fn batched_sssp_is_bit_identical_to_sequential(
+        edges in prop::collection::vec((0u32..64, 0u32..64), 1..300),
+        sources in prop::collection::vec(0u32..64, 1..7),
+        mode_idx in 0usize..4,
+        weight_seed in 0u64..1_000,
+    ) {
+        let g = build_graph(&edges, 64);
+        let w = generate_weights(g.num_edges(), weight_seed);
+        let mode = AccessMode::all()[mode_idx];
+        let cfg = EngineConfig::emogi_v100().with_mode(mode);
+
+        let mut seq = Engine::load(cfg.clone(), &g);
+        let seq_runs: Vec<SsspRun> = sources.iter().map(|&s| seq.sssp(&w, s)).collect();
+
+        let mut bat = Engine::load(cfg, &g);
+        let batch = bat.run_batch(
+            sources.iter().map(|&s| SsspProgram::new(&g, &w, s)).collect::<Vec<_>>(),
+        );
+
+        for (q, (sr, br)) in seq_runs.iter().zip(&batch.runs).enumerate() {
+            prop_assert_eq!(&br.dist, &sr.dist, "{:?} query {}", mode, q);
+            prop_assert_eq!(
+                br.stats.kernel_launches, sr.stats.kernel_launches,
+                "{:?} query {} iteration count", mode, q
+            );
+        }
+    }
+
+    /// The full server path — admission, scheduling, mixed BFS/SSSP
+    /// bursts split into kind-pure batches — returns exactly what solo
+    /// engine runs return, in any submission order.
+    #[test]
+    fn query_server_matches_solo_runs_on_random_mixes(
+        edges in prop::collection::vec((0u32..64, 0u32..64), 1..250),
+        mix in prop::collection::vec((any::<bool>(), 0u32..64), 1..10),
+        mode_idx in 0usize..4,
+        max_batch in 1usize..10,
+    ) {
+        let g = build_graph(&edges, 64);
+        let w = Arc::new(generate_weights(g.num_edges(), 3));
+        let mode = AccessMode::all()[mode_idx];
+        let cfg = EngineConfig::emogi_v100().with_mode(mode);
+
+        let mut server = QueryServer::new(
+            ServerConfig { max_batch, ..ServerConfig::default() },
+            Engine::load(cfg.clone(), &g),
+        );
+        let ids: Vec<QueryId> = mix
+            .iter()
+            .map(|&(is_bfs, s)| {
+                let q = if is_bfs { Query::bfs(s) } else { Query::sssp(s, Arc::clone(&w)) };
+                server.submit(q).expect("valid query admitted")
+            })
+            .collect();
+        prop_assert_eq!(server.run_pending(), mix.len());
+
+        let mut solo = Engine::load(cfg, &g);
+        for (&(is_bfs, s), id) in mix.iter().zip(ids) {
+            if is_bfs {
+                let got = server.take(id).expect("served").into_bfs();
+                let want = solo.bfs(s);
+                prop_assert_eq!(&got.levels, &want.levels, "bfs {}", s);
+                prop_assert_eq!(got.stats.kernel_launches, want.stats.kernel_launches);
+            } else {
+                let got = server.take(id).expect("served").into_sssp();
+                let want = solo.sssp(&w, s);
+                prop_assert_eq!(&got.dist, &want.dist, "sssp {}", s);
+                prop_assert_eq!(got.stats.kernel_launches, want.stats.kernel_launches);
+            }
+        }
+    }
+}
