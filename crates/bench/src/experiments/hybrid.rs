@@ -53,11 +53,24 @@ pub struct HybridResults {
 }
 
 impl HybridResults {
+    /// Look up one cell; panics naming the missing scenario/engine
+    /// *and* the cells that were measured, so a bench failure is
+    /// diagnosable at a glance.
     pub fn get(&self, scenario: &str, engine: &str) -> &Measurement {
         self.rows
             .iter()
             .find(|m| m.scenario == scenario && m.engine == engine)
-            .unwrap_or_else(|| panic!("no measurement for {scenario}/{engine}"))
+            .unwrap_or_else(|| {
+                let have: Vec<String> = self
+                    .rows
+                    .iter()
+                    .map(|m| format!("{}/{}", m.scenario, m.engine))
+                    .collect();
+                panic!(
+                    "no hybrid measurement for scenario {scenario:?} / engine \
+                     {engine:?}; measured cells: {have:?}"
+                )
+            })
     }
 }
 
@@ -287,6 +300,13 @@ pub fn hybrid(ctx: &Context) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "measured cells")]
+    fn missing_cell_lookup_names_the_key_and_the_available_cells() {
+        let r = HybridResults { rows: Vec::new() };
+        let _ = r.get("reuse-cc", "Hybrid");
+    }
 
     #[test]
     fn hybrid_wins_reuse_and_ties_sparse() {

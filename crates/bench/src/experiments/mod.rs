@@ -9,6 +9,7 @@ pub mod matrix;
 pub mod misc;
 pub mod pagerank;
 pub mod prior;
+pub mod scaling;
 pub mod serve;
 pub mod toy;
 
@@ -47,6 +48,7 @@ pub const ALL_IDS: &[&str] = &[
     "hybrid",
     "pagerank",
     "serve",
+    "scaling",
 ];
 
 /// Run one experiment by id. The BFS case-study figures (5, 7–10) share
@@ -75,6 +77,7 @@ pub fn run(id: &str, ctx: &Context) -> Vec<Table> {
         "hybrid" => vec![hybrid::hybrid(ctx)],
         "pagerank" => vec![pagerank::pagerank(ctx)],
         "serve" => vec![serve::serve(ctx)],
+        "scaling" => vec![scaling::scaling(ctx)],
         other => panic!("unknown experiment id {other:?} (known: {ALL_IDS:?})"),
     }
 }
@@ -101,5 +104,6 @@ pub fn run_all(ctx: &Context) -> Vec<Table> {
     out.push(hybrid::hybrid(ctx));
     out.push(pagerank::pagerank(ctx));
     out.push(serve::serve(ctx));
+    out.push(scaling::scaling(ctx));
     out
 }

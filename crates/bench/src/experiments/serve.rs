@@ -69,12 +69,24 @@ pub struct ServeResults {
 }
 
 impl ServeResults {
-    /// Look up one cell.
+    /// Look up one cell; panics naming the missing
+    /// scenario/mode/execution *and* the cells that were measured, so a
+    /// bench failure is diagnosable at a glance.
     pub fn get(&self, scenario: &str, mode: &str, execution: &str) -> &Measurement {
         self.rows
             .iter()
             .find(|m| m.scenario == scenario && m.mode == mode && m.execution == execution)
-            .unwrap_or_else(|| panic!("no measurement for {scenario}/{mode}/{execution}"))
+            .unwrap_or_else(|| {
+                let have: Vec<String> = self
+                    .rows
+                    .iter()
+                    .map(|m| format!("{}/{}/{}", m.scenario, m.mode, m.execution))
+                    .collect();
+                panic!(
+                    "no serve measurement for scenario {scenario:?} / mode {mode:?} / \
+                     execution {execution:?}; measured cells: {have:?}"
+                )
+            })
     }
 }
 
@@ -281,6 +293,13 @@ pub fn serve(ctx: &Context) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "measured cells")]
+    fn missing_cell_lookup_names_the_key_and_the_available_cells() {
+        let r = ServeResults { rows: Vec::new() };
+        let _ = r.get("bfs-burst", "Hybrid", "Batched");
+    }
 
     #[test]
     fn batching_saves_pcie_bytes_and_raises_throughput() {

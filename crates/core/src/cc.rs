@@ -25,9 +25,14 @@ pub struct CcOutput {
 }
 
 /// The CC vertex program. Per-vertex state: the device-resident label
-/// array (semantic copy).
+/// array (semantic copy) plus its iteration-start snapshot.
 pub struct CcProgram {
     comp: Vec<u32>,
+    /// Iteration-start snapshot of `comp`: hooks read neighbour labels
+    /// from here, so a pass's result is a pure function of its start
+    /// state — independent of warp interleaving and of how the sweep is
+    /// sharded across devices.
+    prev: Vec<u32>,
     changed: bool,
     hook_passes: u64,
 }
@@ -41,6 +46,7 @@ impl CcProgram {
         );
         Self {
             comp: (0..graph.num_vertices() as u32).collect(),
+            prev: Vec::new(),
             changed: false,
             hook_passes: 0,
         }
@@ -62,15 +68,19 @@ impl VertexProgram for CcProgram {
     fn begin_iteration(&mut self) {
         self.changed = false;
         self.hook_passes += 1;
+        self.prev.clone_from(&self.comp);
     }
 
     fn source_ctx(&self, _v: VertexId) -> Self::Ctx {}
 
-    /// Hook: the source adopts the smaller of its own and the
-    /// neighbour's label (reads the source's label live — an earlier
-    /// edge of the same task may already have lowered it).
+    /// Hook: the source adopts the smaller of its own live label and the
+    /// neighbour's **iteration-start** label. Reading the neighbour from
+    /// the pass-start snapshot makes the pass a commutative min-fold —
+    /// `comp'[v] = min(comp[v], min of start labels of N(v))` — so its
+    /// result (and the pass count to convergence) is identical no matter
+    /// how warps interleave or how the sweep is sharded across devices.
     fn edge(&mut self, _i: u64, src: VertexId, dst: VertexId, _ctx: ()) -> EdgeEffect {
-        let cd = self.comp[dst as usize];
+        let cd = self.prev[dst as usize];
         if cd < self.comp[src as usize] {
             self.comp[src as usize] = cd;
             self.changed = true;

@@ -122,6 +122,63 @@ impl EngineConfig {
     }
 }
 
+/// Build the hybrid transfer manager for a placed edge list, if the
+/// configuration asks for one. Shared by the single-device and sharded
+/// engines so the placement discipline can never diverge between them.
+pub(crate) fn build_transfer(
+    machine: &Machine,
+    graph: &CsrGraph,
+    elem_bytes: u64,
+    placement: EdgePlacement,
+    cfg: Option<TransferConfig>,
+) -> Option<TransferManager> {
+    cfg.map(|tcfg| {
+        assert_eq!(
+            placement,
+            EdgePlacement::ZeroCopyHost,
+            "hybrid transfers manage the pinned-host edge list"
+        );
+        TransferManager::new(machine, graph.edge_list_bytes(elem_bytes), tcfg)
+    })
+}
+
+/// Place the auxiliary 4-byte-per-edge data array in the edge list's
+/// space, if not already placed. The edge-space bump allocator is
+/// independent of the device one, so the array lands at the same
+/// address it would have at load time. Shared by the single-device and
+/// sharded engines.
+pub(crate) fn ensure_edge_data(
+    machine: &mut Machine,
+    layout: &mut GraphLayout,
+    graph: &CsrGraph,
+    placement: EdgePlacement,
+) {
+    if layout.weight_base.is_some() {
+        return;
+    }
+    let bytes = graph.num_edges() as u64 * 4;
+    let base = match placement {
+        EdgePlacement::ZeroCopyHost => machine.alloc_host_pinned(bytes),
+        EdgePlacement::Uvm => {
+            assert!(
+                machine.uvm.is_none(),
+                "place edge data before the first managed kernel runs \
+                 (the UVM driver's span is fixed at initialization)"
+            );
+            machine.alloc_managed(bytes)
+        }
+    };
+    layout.weight_base = Some(base);
+}
+
+/// Charge the device-side active-vertex scan before a launch (the
+/// kernels iterate over all vertices and test their status, §2.1
+/// Algorithm 1). Shared by the single-device and sharded engines.
+pub(crate) fn charge_vertex_scan(machine: &mut Machine, num_vertices: usize) {
+    let bytes = num_vertices as u64 * 4;
+    machine.now = machine.hbm.read_bulk(machine.now, bytes);
+}
+
 /// Result of one program execution: the program's output plus the run's
 /// measurements (which carry their own transfer counters — hybrid runs
 /// fill [`RunStats::transfer`], everything else leaves it zeroed).
@@ -191,14 +248,7 @@ impl<'g> Engine<'g> {
     pub fn load(cfg: EngineConfig, graph: &'g CsrGraph) -> Self {
         let mut machine = Machine::new(cfg.machine);
         let layout = GraphLayout::place(&mut machine, graph, cfg.elem_bytes, cfg.placement, false);
-        let transfer = cfg.transfer.map(|tcfg| {
-            assert_eq!(
-                cfg.placement,
-                EdgePlacement::ZeroCopyHost,
-                "hybrid transfers manage the pinned-host edge list"
-            );
-            TransferManager::new(&machine, graph.edge_list_bytes(cfg.elem_bytes), tcfg)
-        });
+        let transfer = build_transfer(&machine, graph, cfg.elem_bytes, cfg.placement, cfg.transfer);
         Self {
             machine,
             graph,
@@ -234,33 +284,20 @@ impl<'g> Engine<'g> {
         b
     }
 
-    /// Place the auxiliary 4-byte-per-edge data array in the edge list's
-    /// space, if not already placed. The edge-space bump allocator is
-    /// independent of the device one, so the array lands at the same
-    /// address it would have at load time.
+    /// Place the auxiliary 4-byte-per-edge data array on demand (see
+    /// [`ensure_edge_data`]).
     fn ensure_edge_data(&mut self) {
-        if self.layout.weight_base.is_some() {
-            return;
-        }
-        let bytes = self.graph.num_edges() as u64 * 4;
-        let base = match self.placement {
-            EdgePlacement::ZeroCopyHost => self.machine.alloc_host_pinned(bytes),
-            EdgePlacement::Uvm => {
-                assert!(
-                    self.machine.uvm.is_none(),
-                    "place edge data before the first managed kernel runs \
-                     (the UVM driver's span is fixed at initialization)"
-                );
-                self.machine.alloc_managed(bytes)
-            }
-        };
-        self.layout.weight_base = Some(base);
+        ensure_edge_data(
+            &mut self.machine,
+            &mut self.layout,
+            self.graph,
+            self.placement,
+        );
     }
 
     /// Device-side active-vertex scan before each launch.
     fn charge_vertex_scan(&mut self) {
-        let bytes = self.graph.num_vertices() as u64 * 4;
-        self.machine.now = self.machine.hbm.read_bulk(self.machine.now, bytes);
+        charge_vertex_scan(&mut self.machine, self.graph.num_vertices());
     }
 
     /// Hybrid planning before a launch: predict the launch's edge-list

@@ -19,6 +19,11 @@ use emogi_gpu::access::{AccessBatch, Space, WARP_SIZE};
 use emogi_graph::{CsrGraph, VertexId};
 use emogi_runtime::{Kernel, StepOutcome};
 
+/// One sharded work item: expand edge-list elements `lo..hi` of vertex
+/// `v`'s neighbour list (a sub-range when a mega-hub's list is split
+/// cooperatively across devices, the full list otherwise).
+pub type WorkSlice = (VertexId, u64, u64);
+
 /// The vertices one launch iterates over.
 #[derive(Debug, Clone, Copy)]
 pub enum WorkList<'a> {
@@ -26,6 +31,12 @@ pub enum WorkList<'a> {
     Frontier(&'a [VertexId]),
     /// Full sweep: every vertex `0..n`.
     All(u32),
+    /// Sharded full sweep: the contiguous vertex range `lo..hi` one
+    /// device owns ([`All`](WorkList::All) is `Range(0, n)`).
+    Range(VertexId, VertexId),
+    /// Sharded frontier: explicit `(vertex, edge lo, edge hi)` work
+    /// items, one per (possibly partial) neighbour-list walk.
+    Slices(&'a [WorkSlice]),
 }
 
 impl WorkList<'_> {
@@ -33,6 +44,8 @@ impl WorkList<'_> {
         match self {
             WorkList::Frontier(f) => f.len(),
             WorkList::All(n) => *n as usize,
+            WorkList::Range(lo, hi) => (hi - lo) as usize,
+            WorkList::Slices(s) => s.len(),
         }
     }
 
@@ -40,6 +53,8 @@ impl WorkList<'_> {
         match self {
             WorkList::Frontier(f) => f[i],
             WorkList::All(_) => i as VertexId,
+            WorkList::Range(lo, _) => lo + i as VertexId,
+            WorkList::Slices(s) => s[i].0,
         }
     }
 }
@@ -51,12 +66,16 @@ impl WorkList<'_> {
 /// difference is intentional and harmless.
 #[allow(clippy::large_enum_variant)]
 pub enum ProgramTask<C> {
-    /// Merged/aligned: a warp on one vertex.
+    /// Merged/aligned: a warp on one vertex (or one slice of a split
+    /// mega-hub list).
     Warp {
         /// The vertex this warp expands.
         v: VertexId,
         /// The vertex's iteration-start context.
         ctx: C,
+        /// Edge-list element range this task walks (the vertex's whole
+        /// neighbour list, or its slice of a cooperatively split one).
+        range: (u64, u64),
         /// Neighbour-list sweep state (`None` until the offsets loaded).
         walk: Option<WarpWalk>,
     },
@@ -66,6 +85,8 @@ pub enum ProgramTask<C> {
         vs: Vec<VertexId>,
         /// Their iteration-start contexts, parallel to `vs`.
         ctxs: Vec<C>,
+        /// Per-lane edge-list element ranges, parallel to `vs`.
+        ranges: Vec<(u64, u64)>,
         /// Per-lane cursor state (`None` until the offsets loaded).
         walk: Option<LaneWalk>,
     },
@@ -108,6 +129,30 @@ impl<'a, P: VertexProgram> ProgramKernel<'a, P> {
         work: WorkList<'a>,
         next_frontier: &'a mut Vec<VertexId>,
     ) -> Self {
+        let ctxs = (0..work.len())
+            .map(|i| program.source_ctx(work.get(i)))
+            .collect();
+        Self::with_ctxs(graph, layout, strategy, program, work, ctxs, next_frontier)
+    }
+
+    /// Build one launch over `work` with **pre-captured** contexts,
+    /// parallel to the work list. The sharded engine uses this: in a
+    /// multi-device iteration every shard's contexts must be captured
+    /// *before any shard's kernel runs* — capturing lazily per shard
+    /// would let an earlier shard's updates leak into a later shard's
+    /// iteration-start state, breaking bit-identity with the
+    /// single-device engine.
+    // Like the batch kernel: one borrow per engine-owned resource.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_ctxs(
+        graph: &'a CsrGraph,
+        layout: &'a GraphLayout,
+        strategy: AccessStrategy,
+        program: &'a mut P,
+        work: WorkList<'a>,
+        ctxs: Vec<P::Ctx>,
+        next_frontier: &'a mut Vec<VertexId>,
+    ) -> Self {
         let edge_data = program.uses_edge_data();
         if edge_data {
             assert!(
@@ -115,11 +160,9 @@ impl<'a, P: VertexProgram> ProgramKernel<'a, P> {
                 "program needs edge data but none is placed"
             );
         }
+        assert_eq!(ctxs.len(), work.len(), "one context per work item");
         let source_status = program.reads_source_status();
-        let collect_activations = matches!(work, WorkList::Frontier(_));
-        let ctxs = (0..work.len())
-            .map(|i| program.source_ctx(work.get(i)))
-            .collect();
+        let collect_activations = matches!(work, WorkList::Frontier(_) | WorkList::Slices(_));
         Self {
             graph,
             layout,
@@ -136,16 +179,29 @@ impl<'a, P: VertexProgram> ProgramKernel<'a, P> {
         }
     }
 
+    /// The edge-list element range work item `i` walks: the vertex's
+    /// whole neighbour list, or the explicit slice of a split one.
+    fn item_range(&self, i: usize) -> (u64, u64) {
+        match self.work {
+            WorkList::Slices(s) => {
+                let (_, lo, hi) = s[i];
+                (lo, hi)
+            }
+            _ => {
+                let v = self.work.get(i);
+                (self.graph.neighbor_start(v), self.graph.neighbor_end(v))
+            }
+        }
+    }
+
     /// Task-start loads for vertex `v`: the two CSR offsets, and the own
-    /// status entry for programs that read it. Returns the neighbour
-    /// range.
-    fn open_vertex(&mut self, v: VertexId, batch: &mut AccessBatch) -> (u64, u64) {
+    /// status entry for programs that read it.
+    fn open_vertex(&mut self, v: VertexId, batch: &mut AccessBatch) {
         batch.load(self.layout.vertex_addr(u64::from(v)), 8, Space::Device);
         batch.load(self.layout.vertex_addr(u64::from(v) + 1), 8, Space::Device);
         if self.source_status {
             batch.load(self.layout.status_addr(u64::from(v)), 4, Space::Device);
         }
-        (self.graph.neighbor_start(v), self.graph.neighbor_end(v))
     }
 
     /// Process the semantics of edge-list element `i` from source `src`:
@@ -193,16 +249,24 @@ impl<P: VertexProgram> Kernel for ProgramKernel<'_, P> {
         if self.strategy.warp_per_vertex() {
             let v = self.work.get(self.pos);
             let ctx = self.ctxs[self.pos];
+            let range = self.item_range(self.pos);
             self.pos += 1;
-            Some(ProgramTask::Warp { v, ctx, walk: None })
+            Some(ProgramTask::Warp {
+                v,
+                ctx,
+                range,
+                walk: None,
+            })
         } else {
             let hi = (self.pos + WARP_SIZE).min(n);
             let vs: Vec<VertexId> = (self.pos..hi).map(|i| self.work.get(i)).collect();
             let ctxs = self.ctxs[self.pos..hi].to_vec();
+            let ranges: Vec<(u64, u64)> = (self.pos..hi).map(|i| self.item_range(i)).collect();
             self.pos = hi;
             Some(ProgramTask::Lanes {
                 vs,
                 ctxs,
+                ranges,
                 walk: None,
             })
         }
@@ -210,9 +274,15 @@ impl<P: VertexProgram> Kernel for ProgramKernel<'_, P> {
 
     fn step(&mut self, task: &mut Self::Task, batch: &mut AccessBatch) -> StepOutcome {
         match task {
-            ProgramTask::Warp { v, ctx, walk } => {
+            ProgramTask::Warp {
+                v,
+                ctx,
+                range,
+                walk,
+            } => {
                 let Some(w) = walk else {
-                    let (start, end) = self.open_vertex(*v, batch);
+                    let (start, end) = *range;
+                    self.open_vertex(*v, batch);
                     if start == end {
                         return StepOutcome::Done;
                     }
@@ -234,14 +304,17 @@ impl<P: VertexProgram> Kernel for ProgramKernel<'_, P> {
                     StepOutcome::Continue
                 }
             }
-            ProgramTask::Lanes { vs, ctxs, walk } => {
+            ProgramTask::Lanes {
+                vs,
+                ctxs,
+                ranges,
+                walk,
+            } => {
                 let Some(w) = walk else {
-                    let mut ranges = Vec::with_capacity(vs.len());
                     for &v in vs.iter() {
-                        let (start, end) = self.open_vertex(v, batch);
-                        ranges.push((start, end));
+                        self.open_vertex(v, batch);
                     }
-                    let lw = LaneWalk::new(&ranges);
+                    let lw = LaneWalk::new(ranges);
                     if lw.is_done() {
                         return StepOutcome::Done;
                     }
@@ -295,6 +368,10 @@ mod tests {
         let all = WorkList::All(5);
         assert_eq!(all.len(), 5);
         assert_eq!(all.get(4), 4);
+        let range = WorkList::Range(7, 12);
+        assert_eq!(range.len(), 5);
+        assert_eq!(range.get(0), 7);
+        assert_eq!(range.get(4), 11);
     }
 
     /// Drive the generic kernel directly (no engine) through a full BFS,

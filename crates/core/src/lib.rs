@@ -31,7 +31,12 @@
 //! * [`bfs`] / [`sssp`] / [`cc`] / [`pagerank`] — the four shipped
 //!   programs. The first three are the paper's applications; PageRank is
 //!   the generality proof: a fourth program with zero driver, kernel or
-//!   transfer-planner changes.
+//!   transfer-planner changes;
+//! * [`sharded`] — the multi-GPU [`ShardedEngine`]: the same programs
+//!   over a device group, vertices partitioned across devices, each
+//!   device reading only its frontier shard's edge-list ranges over its
+//!   own link — outputs and iteration counts bit-identical to the
+//!   single-device engine.
 //!
 //! [`compressed`] adds the paper's §6 extension: traversal over
 //! delta-varint-compressed neighbour lists, trading idle-lane compute for
@@ -66,6 +71,7 @@ pub mod kernel;
 pub mod layout;
 pub mod pagerank;
 pub mod program;
+pub mod sharded;
 pub mod sssp;
 pub mod strategy;
 pub mod toy;
@@ -79,5 +85,6 @@ pub use kernel::{ProgramKernel, WorkList};
 pub use layout::{EdgePlacement, GraphLayout};
 pub use pagerank::{PageRankOutput, PageRankProgram};
 pub use program::{AccessPattern, DeviceWork, EdgeEffect, VertexProgram};
+pub use sharded::{ShardedConfig, ShardedEngine, ShardedRun};
 pub use sssp::{SsspOutput, SsspProgram};
 pub use strategy::{AccessMode, AccessStrategy};

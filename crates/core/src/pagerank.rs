@@ -31,7 +31,10 @@ pub struct PageRankOutput {
 }
 
 /// The PageRank vertex program.
-pub struct PageRankProgram {
+pub struct PageRankProgram<'g> {
+    /// The graph, kept for the canonical-order semantic reduction in
+    /// [`post_iteration`](VertexProgram::post_iteration).
+    graph: &'g CsrGraph,
     damping: f64,
     max_iterations: u32,
     iterations: u32,
@@ -47,14 +50,15 @@ pub struct PageRankProgram {
     dangling: f64,
 }
 
-impl PageRankProgram {
+impl<'g> PageRankProgram<'g> {
     /// `iterations` damped power iterations over `graph`.
-    pub fn new(graph: &CsrGraph, damping: f64, iterations: u32) -> Self {
+    pub fn new(graph: &'g CsrGraph, damping: f64, iterations: u32) -> Self {
         assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
         assert!(iterations > 0, "at least one iteration");
         let n = graph.num_vertices();
         assert!(n > 0, "PageRank needs a non-empty graph");
         Self {
+            graph,
             damping,
             max_iterations: iterations,
             iterations: 0,
@@ -67,7 +71,7 @@ impl PageRankProgram {
     }
 }
 
-impl VertexProgram for PageRankProgram {
+impl VertexProgram for PageRankProgram<'_> {
     /// The source's out-contribution this sweep.
     type Ctx = f64;
     type Output = PageRankOutput;
@@ -99,15 +103,32 @@ impl VertexProgram for PageRankProgram {
         self.contrib[v as usize]
     }
 
-    fn edge(&mut self, _i: u64, _src: VertexId, dst: VertexId, contrib: f64) -> EdgeEffect {
-        // atomicAdd into the destination's accumulator entry.
-        self.next[dst as usize] += contrib;
+    /// Models the kernel's atomicAdd into the destination's accumulator
+    /// entry. Traffic only: the *semantic* sum is applied in
+    /// [`post_iteration`](VertexProgram::post_iteration) in canonical
+    /// edge order, because floating-point addition is not associative —
+    /// summing in warp-interleaving (or shard) order would make the
+    /// ranks depend on simulation timing and device count.
+    fn edge(&mut self, _i: u64, _src: VertexId, _dst: VertexId, _contrib: f64) -> EdgeEffect {
         EdgeEffect::UpdateDst { activate: false }
     }
 
-    /// Rank update between sweeps: read the accumulator array, write the
-    /// rank array — one bulk pass over two per-vertex streams.
+    /// Between sweeps: fold every vertex's contribution into its
+    /// neighbours' accumulators in canonical CSR order (vertex-ascending,
+    /// list order — the same order as the CPU reference, so ranks are
+    /// bit-equal to [`emogi_graph::algo::pagerank`] and independent of
+    /// sharding), then the rank update — one bulk pass over two
+    /// per-vertex streams.
     fn post_iteration(&mut self, work: &mut DeviceWork) {
+        for v in 0..self.rank.len() {
+            let c = self.contrib[v];
+            if self.deg[v] == 0 {
+                continue;
+            }
+            for &dst in self.graph.neighbors(v as VertexId) {
+                self.next[dst as usize] += c;
+            }
+        }
         let n = self.rank.len() as f64;
         let base = (1.0 - self.damping) / n + self.damping * self.dangling / n;
         for v in 0..self.rank.len() {

@@ -1,0 +1,694 @@
+//! Sharded multi-GPU execution: one traversal, many simulated GPUs.
+//!
+//! EMOGI's multi-GPU result (§5.7) is that zero-copy traversal keeps
+//! scaling across GPUs because each GPU fetches only the edge-list
+//! ranges its own frontier shard needs, over its **own** host link. A
+//! [`ShardedEngine`] reproduces that execution model on a
+//! [`DeviceGroup`]:
+//!
+//! * the vertex set is split into contiguous shards by an
+//!   [`emogi_graph::partition`] partitioner (equal vertices, or equal
+//!   edges for skew-balanced PCIe traffic);
+//! * every device holds the full vertex list and status array (the
+//!   paper's small device-resident structures) while the edge list
+//!   stays in shared host memory, placed identically on each device's
+//!   address map;
+//! * per iteration, device `d` launches one kernel over the frontier
+//!   vertices (or, for full sweeps, the vertex range) it owns — its
+//!   PCIe link carries only those neighbour lists;
+//! * between iterations the devices exchange their status updates
+//!   (activated `(vertex, value)` pairs for frontier-driven programs,
+//!   owned status slices for full sweeps) over the group's
+//!   interconnect, then synchronize at a barrier.
+//!
+//! # Bit-identity
+//!
+//! Sharding is a *pure execution-plan change*: outputs and iteration
+//! counts are identical to the single-device
+//! [`Engine`](crate::engine::Engine) for any device count and either
+//! partitioner, because every shipped program's
+//! per-iteration semantics are a pure function of iteration-start state
+//! (contexts are captured for the **whole** frontier before any shard's
+//! kernel runs, BFS/SSSP updates are commutative mins, CC hooks against
+//! an iteration-start snapshot, and PageRank folds its sums in
+//! canonical edge order). With **one** device the machine instruction
+//! stream is identical too, so outputs, iteration counts *and* every
+//! per-run statistic (including hybrid transfer counters) equal the
+//! single-device engine's tick for tick. `tests/sharded_differential.rs`
+//! checks both properties on random graphs.
+//!
+//! [`DeviceGroup`]: emogi_runtime::DeviceGroup
+
+use crate::engine::EngineConfig;
+use crate::kernel::{ProgramKernel, WorkList, WorkSlice};
+use crate::layout::{EdgePlacement, GraphLayout};
+use crate::program::{AccessPattern, DeviceWork, VertexProgram};
+use crate::strategy::{AccessMode, AccessStrategy};
+use emogi_graph::{CsrGraph, PartitionStrategy, VertexId, VertexPartition};
+use emogi_runtime::exec::run_kernel;
+use emogi_runtime::group::{DeviceGroup, DeviceGroupConfig};
+use emogi_runtime::machine::MachineConfig;
+use emogi_runtime::report::RunStats;
+use emogi_runtime::{TransferManager, TransferStats};
+use emogi_sim::interconnect::{LinkStats, PeerLinkConfig};
+
+/// Bytes per frontier-update record exchanged between devices: a 4-byte
+/// vertex id plus its 4-byte status value.
+pub const FRONTIER_UPDATE_BYTES: u64 = 8;
+
+/// Neighbour lists at least this many elements long are expanded
+/// **cooperatively**: the owner keeps the vertex (status, activation,
+/// scan) but the list walk is split into one line-aligned slice per
+/// device. A warp walks its list serially, so an unsplit mega-hub's
+/// walk would be a latency chain no amount of sharding shortens — on
+/// power-law graphs that chain *is* the critical path of the busiest
+/// iterations, and splitting it is what keeps multi-GPU scaling near
+/// linear (single-device runs never split, preserving tick-identity
+/// with [`Engine`](crate::engine::Engine)).
+pub const HUB_SPLIT_DEGREE: u64 = 256;
+
+/// How to build a [`ShardedEngine`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// The per-device engine configuration (platform, kernel strategy,
+    /// placement, hybrid transfer); every device is identical.
+    pub engine: EngineConfig,
+    /// Simulated GPUs.
+    pub devices: usize,
+    /// How vertices are split across devices.
+    pub partition: PartitionStrategy,
+    /// Inter-GPU peer link for the iteration-end exchange; `None`
+    /// routes exchanges through host memory over two PCIe hops.
+    pub peer: Option<PeerLinkConfig>,
+}
+
+impl ShardedConfig {
+    /// `devices` × the EMOGI V100 platform, degree-balanced sharding,
+    /// NVLink-class peer link.
+    pub fn emogi_v100(devices: usize) -> Self {
+        Self {
+            engine: EngineConfig::emogi_v100(),
+            devices,
+            partition: PartitionStrategy::DegreeBalanced,
+            peer: Some(PeerLinkConfig::default()),
+        }
+    }
+
+    /// Like [`emogi_v100`](Self::emogi_v100) with per-device hybrid
+    /// zero-copy/DMA transfer management.
+    pub fn hybrid_v100(devices: usize) -> Self {
+        Self {
+            engine: EngineConfig::hybrid_v100(),
+            ..Self::emogi_v100(devices)
+        }
+    }
+
+    /// Replace the vertex partitioner.
+    pub fn with_partition(mut self, partition: PartitionStrategy) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Select a full access mode on the per-device engines.
+    pub fn with_mode(mut self, mode: AccessMode) -> Self {
+        self.engine = self.engine.with_mode(mode);
+        self
+    }
+
+    /// Replace the per-device simulated platform.
+    pub fn with_machine(mut self, machine: MachineConfig) -> Self {
+        self.engine = self.engine.with_machine(machine);
+        self
+    }
+
+    /// Set the simulated edge element size on every device.
+    pub fn with_elem_bytes(mut self, bytes: u64) -> Self {
+        self.engine = self.engine.with_elem_bytes(bytes);
+        self
+    }
+
+    /// Route iteration-end exchanges through host memory instead of a
+    /// peer link.
+    pub fn without_peer(mut self) -> Self {
+        self.peer = None;
+        self
+    }
+}
+
+/// Result of one sharded program execution.
+///
+/// Like [`Run`](crate::engine::Run), `ShardedRun` derefs to the
+/// program's output.
+#[derive(Debug, Clone)]
+pub struct ShardedRun<O> {
+    /// The program's output (levels, distances, labels, ranks, ...) —
+    /// bit-identical to a single-device run.
+    pub output: O,
+    /// Group-level totals: elapsed time is the barrier-aligned wall
+    /// clock (max over devices), traffic counters sum across links, and
+    /// `kernel_launches` is the *logical* launch-wave count (equal to
+    /// [`iterations`](Self::iterations), hence directly comparable with
+    /// a single-device run's launch count).
+    pub stats: RunStats,
+    /// Per-device measurements, index = device id.
+    pub per_device: Vec<RunStats>,
+    /// Inter-device exchange traffic of this run (all lanes summed;
+    /// zero for a single device).
+    pub exchange: LinkStats,
+    /// Synchronous iterations executed (kernel launches *per device
+    /// with work*; equals the single-device engine's launch count).
+    pub iterations: u64,
+}
+
+impl<O> std::ops::Deref for ShardedRun<O> {
+    type Target = O;
+
+    fn deref(&self) -> &O {
+        &self.output
+    }
+}
+
+/// A graph placed on every device of a group, ready to run any
+/// [`VertexProgram`] sharded.
+///
+/// ```
+/// use emogi_core::sharded::{ShardedConfig, ShardedEngine};
+/// use emogi_graph::{algo, generators};
+///
+/// let graph = generators::kronecker(9, 8, 21);
+/// let mut sharded = ShardedEngine::load(ShardedConfig::emogi_v100(2), &graph);
+/// let run = sharded.bfs(1);
+/// assert_eq!(run.levels, algo::bfs_levels(&graph, 1));
+/// assert_eq!(run.per_device.len(), 2);
+/// assert!(run.exchange.bytes > 0, "devices exchanged frontier updates");
+/// ```
+pub struct ShardedEngine<'g> {
+    /// The device group (machines + interconnect) the shards run on.
+    pub group: DeviceGroup,
+    graph: &'g CsrGraph,
+    /// Per-device placements; identical bases on every device.
+    layouts: Vec<GraphLayout>,
+    /// Per-device hybrid transfer managers (hybrid mode only).
+    transfers: Vec<Option<TransferManager>>,
+    partition: VertexPartition,
+    strategy: AccessStrategy,
+    placement: EdgePlacement,
+}
+
+impl<'g> ShardedEngine<'g> {
+    /// Place `graph` on `cfg.devices` machines and partition its vertex
+    /// set. Each device gets the same layout a single-device
+    /// [`Engine`](crate::engine::Engine) would build.
+    pub fn load(cfg: ShardedConfig, graph: &'g CsrGraph) -> Self {
+        let partition = cfg.partition.partition(graph, cfg.devices);
+        let mut group = DeviceGroup::new(DeviceGroupConfig {
+            devices: cfg.devices,
+            machine: cfg.engine.machine.clone(),
+            peer: cfg.peer,
+        });
+        let mut layouts = Vec::with_capacity(cfg.devices);
+        let mut transfers = Vec::with_capacity(cfg.devices);
+        for m in &mut group.machines {
+            let layout =
+                GraphLayout::place(m, graph, cfg.engine.elem_bytes, cfg.engine.placement, false);
+            let transfer = crate::engine::build_transfer(
+                m,
+                graph,
+                cfg.engine.elem_bytes,
+                cfg.engine.placement,
+                cfg.engine.transfer.clone(),
+            );
+            layouts.push(layout);
+            transfers.push(transfer);
+        }
+        Self {
+            group,
+            graph,
+            layouts,
+            transfers,
+            partition,
+            strategy: cfg.engine.strategy,
+            placement: cfg.engine.placement,
+        }
+    }
+
+    /// The placed graph.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// Devices in the group.
+    pub fn num_devices(&self) -> usize {
+        self.group.num_devices()
+    }
+
+    /// The vertex partition shards are derived from.
+    pub fn partition(&self) -> &VertexPartition {
+        &self.partition
+    }
+
+    /// Place the auxiliary 4-byte-per-edge data array on device `d`, if
+    /// not already placed (the same shared helper the single-device
+    /// engine uses).
+    fn ensure_edge_data(&mut self, d: usize) {
+        crate::engine::ensure_edge_data(
+            &mut self.group.machines[d],
+            &mut self.layouts[d],
+            self.graph,
+            self.placement,
+        );
+    }
+
+    /// Device-side active-vertex scan on device `d` before its launch
+    /// (each device scans its own full status array, like the
+    /// single-device engine).
+    fn charge_vertex_scan(&mut self, d: usize) {
+        crate::engine::charge_vertex_scan(&mut self.group.machines[d], self.graph.num_vertices());
+    }
+
+    /// Hybrid planning on device `d` before a frontier-driven launch:
+    /// the device's work items predict exactly the edge-list byte
+    /// ranges its kernel will read.
+    fn plan_transfers_slices(&mut self, d: usize, items: &[WorkSlice]) {
+        let Some(tm) = self.transfers[d].as_mut() else {
+            return;
+        };
+        let elem = self.layouts[d].elem_bytes;
+        let changed = tm.plan_iteration(
+            &mut self.group.machines[d],
+            items.iter().map(|&(_, lo, hi)| (lo * elem, hi * elem)),
+        );
+        if changed {
+            self.layouts[d].staged_edges = Some(tm.region_map());
+        }
+    }
+
+    /// Hybrid planning on device `d` before a full-sweep launch: the
+    /// device reads its whole owned edge-list range.
+    fn plan_transfers_sweep(&mut self, d: usize) {
+        let Some(tm) = self.transfers[d].as_mut() else {
+            return;
+        };
+        let elem = self.layouts[d].elem_bytes;
+        let r = self.partition.range(d);
+        let range = if r.is_empty() {
+            (0, 0)
+        } else {
+            (
+                self.graph.neighbor_start(r.start) * elem,
+                self.graph.neighbor_end(r.end - 1) * elem,
+            )
+        };
+        let changed = tm.plan_iteration(&mut self.group.machines[d], std::iter::once(range));
+        if changed {
+            self.layouts[d].staged_edges = Some(tm.region_map());
+        }
+    }
+
+    /// Build the per-device work lists for one frontier iteration:
+    /// every owned vertex becomes one work item on its owner, except
+    /// mega-hubs ([`HUB_SPLIT_DEGREE`]) whose lists are split into one
+    /// line-aligned slice per device (the owner keeps the first slice).
+    /// With a single device nothing ever splits, so the work list is
+    /// exactly the frontier.
+    fn build_work_items(
+        &self,
+        frontier: &[VertexId],
+        bounds: &[(usize, usize)],
+        items: &mut [Vec<WorkSlice>],
+    ) {
+        let ndev = items.len();
+        let line = self.layouts[0].elems_per_line();
+        for it in items.iter_mut() {
+            it.clear();
+        }
+        for (d, &(lo, hi)) in bounds.iter().enumerate() {
+            for &v in &frontier[lo..hi] {
+                let (s, e) = (self.graph.neighbor_start(v), self.graph.neighbor_end(v));
+                let deg = e - s;
+                if ndev > 1 && deg >= HUB_SPLIT_DEGREE {
+                    let chunk = deg.div_ceil(ndev as u64).div_ceil(line) * line;
+                    let mut start = s;
+                    let mut k = 0usize;
+                    while start < e {
+                        let end = (start + chunk).min(e);
+                        items[(d + k) % ndev].push((v, start, end));
+                        start = end;
+                        k += 1;
+                    }
+                } else {
+                    items[d].push((v, s, e));
+                }
+            }
+        }
+    }
+
+    /// Charge the program's inter-launch device-side work. The work is
+    /// semantic once (the program state updates a single time) but every
+    /// device performs it on its own copy of the arrays, so each machine
+    /// is charged the same bulk sweeps.
+    fn apply_device_work<P: VertexProgram>(&mut self, program: &mut P, work: &mut DeviceWork) {
+        program.post_iteration(work);
+        let bytes: Vec<u64> = work.drain().collect();
+        for m in &mut self.group.machines {
+            for &b in &bytes {
+                m.now = m.hbm.read_bulk(m.now, b);
+            }
+        }
+    }
+
+    /// Run `program` to convergence across all shards. One synchronous
+    /// iteration = one kernel launch on every device that has work this
+    /// iteration, followed by the inter-device update exchange and a
+    /// barrier.
+    pub fn run<P: VertexProgram>(&mut self, mut program: P) -> ShardedRun<P::Output> {
+        let ndev = self.group.num_devices();
+        if program.uses_edge_data() {
+            for d in 0..ndev {
+                self.ensure_edge_data(d);
+            }
+        }
+        let snaps = self.group.snapshots();
+        let transfer_bases: Vec<Option<TransferStats>> = self
+            .transfers
+            .iter()
+            .map(|t| t.as_ref().map(|t| t.stats))
+            .collect();
+        let exchange_base = self.group.interconnect.totals();
+        let pattern = program.pattern();
+        let mut launches = vec![0u64; ndev];
+        let mut iterations = 0u64;
+        let mut work = DeviceWork::default();
+        match pattern {
+            AccessPattern::FrontierDriven => {
+                let mut frontier = program.initial_frontier();
+                frontier.sort_unstable();
+                frontier.dedup();
+                let mut next: Vec<Vec<VertexId>> = vec![Vec::new(); ndev];
+                let mut items: Vec<Vec<WorkSlice>> = vec![Vec::new(); ndev];
+                while !frontier.is_empty() {
+                    iterations += 1;
+                    // Idle shards produce no activations this iteration.
+                    for nd in &mut next {
+                        nd.clear();
+                    }
+                    let bounds = self.partition.slice_bounds(&frontier);
+                    self.build_work_items(&frontier, &bounds, &mut items);
+                    for (d, it) in items.iter().enumerate() {
+                        if !it.is_empty() {
+                            self.charge_vertex_scan(d);
+                            self.plan_transfers_slices(d, it);
+                        }
+                    }
+                    program.begin_iteration();
+                    // Capture every device's contexts before any
+                    // shard's kernel runs — iteration-start state must
+                    // not depend on shard execution order.
+                    let ctxs: Vec<Vec<P::Ctx>> = items
+                        .iter()
+                        .map(|it| it.iter().map(|&(v, _, _)| program.source_ctx(v)).collect())
+                        .collect();
+                    for (d, ctx_vec) in ctxs.into_iter().enumerate() {
+                        if items[d].is_empty() {
+                            continue;
+                        }
+                        let mut kernel = ProgramKernel::with_ctxs(
+                            self.graph,
+                            &self.layouts[d],
+                            self.strategy,
+                            &mut program,
+                            WorkList::Slices(&items[d]),
+                            ctx_vec,
+                            &mut next[d],
+                        );
+                        run_kernel(&mut self.group.machines[d], &mut kernel);
+                        launches[d] += 1;
+                    }
+                    self.apply_device_work(&mut program, &mut work);
+                    // Every device broadcasts the (vertex, value) pairs
+                    // it activated; remote activations join their
+                    // owners' next shards, and every device's status
+                    // copy stays coherent.
+                    let mut update_bytes = vec![0u64; ndev];
+                    for (d, nd) in next.iter_mut().enumerate() {
+                        nd.sort_unstable();
+                        nd.dedup();
+                        update_bytes[d] = nd.len() as u64 * FRONTIER_UPDATE_BYTES;
+                    }
+                    if ndev > 1 {
+                        self.group.exchange(&update_bytes);
+                    }
+                    frontier.clear();
+                    for nd in &next {
+                        frontier.extend_from_slice(nd);
+                    }
+                    frontier.sort_unstable();
+                    frontier.dedup();
+                }
+            }
+            AccessPattern::FullSweep => {
+                let n = self.graph.num_vertices() as u32;
+                let mut sink: Vec<VertexId> = Vec::new();
+                // Full sweeps update owned entries (CC) or reduce into
+                // owners (PageRank): each device allgathers its owned
+                // status slice after every sweep.
+                let sweep_bytes: Vec<u64> = (0..ndev)
+                    .map(|d| self.partition.range(d).len() as u64 * 4)
+                    .collect();
+                loop {
+                    iterations += 1;
+                    for d in 0..ndev {
+                        if !self.partition.range(d).is_empty() {
+                            self.charge_vertex_scan(d);
+                            self.plan_transfers_sweep(d);
+                        }
+                    }
+                    program.begin_iteration();
+                    let ctxs: Vec<P::Ctx> = (0..n).map(|v| program.source_ctx(v)).collect();
+                    for (d, launched) in launches.iter_mut().enumerate() {
+                        let r = self.partition.range(d);
+                        if r.is_empty() {
+                            continue;
+                        }
+                        sink.clear();
+                        let mut kernel = ProgramKernel::with_ctxs(
+                            self.graph,
+                            &self.layouts[d],
+                            self.strategy,
+                            &mut program,
+                            WorkList::Range(r.start, r.end),
+                            ctxs[r.start as usize..r.end as usize].to_vec(),
+                            &mut sink,
+                        );
+                        run_kernel(&mut self.group.machines[d], &mut kernel);
+                        *launched += 1;
+                    }
+                    self.apply_device_work(&mut program, &mut work);
+                    if ndev > 1 {
+                        self.group.exchange(&sweep_bytes);
+                    }
+                    if program.converged() {
+                        break;
+                    }
+                }
+            }
+        }
+        let mut per_device = self.group.finish_run(&snaps, &launches);
+        for (d, stats) in per_device.iter_mut().enumerate() {
+            if let (Some(tm), Some(base)) = (&self.transfers[d], transfer_bases[d]) {
+                stats.transfer = tm.stats - base;
+            }
+        }
+        let mut stats = RunStats::aggregate_concurrent(&per_device);
+        // The group-level launch count is the *logical* one: each
+        // synchronous iteration is one launch wave, however many devices
+        // participated — so `stats.kernel_launches` compares directly
+        // with a single-device run's (physical per-device launches stay
+        // in `per_device`).
+        stats.kernel_launches = iterations;
+        let exchange = self.group.interconnect.totals() - exchange_base;
+        ShardedRun {
+            output: program.finish(),
+            stats,
+            per_device,
+            exchange,
+            iterations,
+        }
+    }
+
+    /// Sharded BFS from `src`.
+    pub fn bfs(&mut self, src: VertexId) -> ShardedRun<crate::bfs::BfsOutput> {
+        self.run(crate::bfs::BfsProgram::new(self.graph, src))
+    }
+
+    /// Sharded SSSP from `src` with per-edge `weights`.
+    pub fn sssp(&mut self, weights: &[u32], src: VertexId) -> ShardedRun<crate::sssp::SsspOutput> {
+        self.run(crate::sssp::SsspProgram::new(self.graph, weights, src))
+    }
+
+    /// Sharded CC.
+    pub fn cc(&mut self) -> ShardedRun<crate::cc::CcOutput> {
+        self.run(crate::cc::CcProgram::new(self.graph))
+    }
+
+    /// Sharded PageRank.
+    pub fn pagerank(
+        &mut self,
+        damping: f64,
+        iterations: u32,
+    ) -> ShardedRun<crate::pagerank::PageRankOutput> {
+        self.run(crate::pagerank::PageRankProgram::new(
+            self.graph, damping, iterations,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use emogi_graph::datasets::generate_weights;
+    use emogi_graph::{algo, generators};
+
+    fn sharded_cfg(devices: usize, mode: AccessMode) -> ShardedConfig {
+        ShardedConfig::emogi_v100(devices).with_mode(mode)
+    }
+
+    #[test]
+    fn one_device_sharded_runs_are_tick_identical_to_the_engine() {
+        // The acceptance bar: outputs, iteration counts AND stats
+        // (including hybrid transfer counters) must equal the
+        // single-device engine exactly.
+        let g = generators::kronecker(9, 8, 21);
+        let w = generate_weights(g.num_edges(), 21);
+        for mode in [AccessMode::MergedAligned, AccessMode::Hybrid] {
+            let mut solo = Engine::load(EngineConfig::emogi_v100().with_mode(mode), &g);
+            let mut shard = ShardedEngine::load(sharded_cfg(1, mode), &g);
+
+            let (sr, dr) = (solo.bfs(1), shard.bfs(1));
+            assert_eq!(dr.levels, sr.levels, "{mode:?} bfs output");
+            assert_eq!(dr.iterations, sr.stats.kernel_launches);
+            assert_eq!(dr.per_device[0], sr.stats, "{mode:?} bfs stats");
+
+            let (sr, dr) = (solo.sssp(&w, 1), shard.sssp(&w, 1));
+            assert_eq!(dr.dist, sr.dist, "{mode:?} sssp output");
+            assert_eq!(dr.per_device[0], sr.stats, "{mode:?} sssp stats");
+
+            let (sr, dr) = (solo.cc(), shard.cc());
+            assert_eq!(dr.comp, sr.comp, "{mode:?} cc output");
+            assert_eq!(dr.hook_passes, sr.hook_passes);
+            assert_eq!(dr.per_device[0], sr.stats, "{mode:?} cc stats");
+
+            let (sr, dr) = (solo.pagerank(0.85, 8), shard.pagerank(0.85, 8));
+            assert_eq!(dr.ranks, sr.ranks, "{mode:?} pagerank output");
+            assert_eq!(dr.per_device[0], sr.stats, "{mode:?} pagerank stats");
+
+            assert_eq!(dr.exchange, LinkStats::default(), "no peers, no bytes");
+        }
+    }
+
+    #[test]
+    fn multi_device_outputs_match_references_for_both_partitioners() {
+        let g = generators::kronecker(9, 8, 7);
+        let w = generate_weights(g.num_edges(), 7);
+        let want_bfs = algo::bfs_levels(&g, 3);
+        let want_sssp = algo::sssp_distances(&g, &w, 3);
+        let want_cc = algo::cc_labels(&g);
+        for devices in [2usize, 4] {
+            for partition in PartitionStrategy::all() {
+                let cfg = sharded_cfg(devices, AccessMode::MergedAligned).with_partition(partition);
+                let mut e = ShardedEngine::load(cfg, &g);
+                let tag = format!("{devices} devices / {partition:?}");
+                assert_eq!(e.bfs(3).levels, want_bfs, "{tag} bfs");
+                let dist = e.sssp(&w, 3);
+                for (v, &want) in want_sssp.iter().enumerate() {
+                    let got = if dist.dist[v] == crate::sssp::INF {
+                        algo::UNREACHABLE
+                    } else {
+                        u64::from(dist.dist[v])
+                    };
+                    assert_eq!(got, want, "{tag} sssp vertex {v}");
+                }
+                assert_eq!(e.cc().comp, want_cc, "{tag} cc");
+                let pr = e.pagerank(0.85, 8);
+                let want_pr = algo::pagerank(&g, 0.85, 8);
+                assert_eq!(pr.ranks, want_pr, "{tag} pagerank is bit-exact");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_device_iteration_counts_match_the_engine() {
+        let g = generators::kronecker(9, 8, 3);
+        let mut solo = Engine::load(EngineConfig::emogi_v100(), &g);
+        let solo_bfs = solo.bfs(0);
+        let solo_cc = solo.cc();
+        for devices in [2usize, 4] {
+            let mut e = ShardedEngine::load(sharded_cfg(devices, AccessMode::MergedAligned), &g);
+            assert_eq!(e.bfs(0).iterations, solo_bfs.stats.kernel_launches);
+            assert_eq!(e.cc().iterations, solo_cc.stats.kernel_launches);
+        }
+    }
+
+    #[test]
+    fn devices_exchange_updates_and_split_the_pcie_traffic() {
+        let g = generators::kronecker(10, 8, 5);
+        let mut solo = ShardedEngine::load(sharded_cfg(1, AccessMode::MergedAligned), &g);
+        let mut duo = ShardedEngine::load(sharded_cfg(2, AccessMode::MergedAligned), &g);
+        let r1 = solo.bfs(0);
+        let r2 = duo.bfs(0);
+        assert_eq!(r2.levels, r1.levels);
+        assert!(r2.exchange.bytes > 0, "frontier updates must cross links");
+        assert!(r2.exchange.transfers > 0);
+        // Each device reads roughly its shard's share of the edge list.
+        let total: u64 = r2.per_device.iter().map(|s| s.host_bytes).sum();
+        let max = r2.per_device.iter().map(|s| s.host_bytes).max().unwrap();
+        assert!(
+            max < total,
+            "both devices must carry part of the traffic: {:?}",
+            r2.per_device
+                .iter()
+                .map(|s| s.host_bytes)
+                .collect::<Vec<_>>()
+        );
+        // And the barrier-aligned wall clock beats the single device.
+        assert!(
+            r2.stats.elapsed_ns < r1.stats.elapsed_ns,
+            "2 devices {} must beat 1 device {}",
+            r2.stats.elapsed_ns,
+            r1.stats.elapsed_ns
+        );
+    }
+
+    #[test]
+    fn hybrid_sharded_runs_stage_per_device_and_stay_correct() {
+        let g = generators::lognormal_dense(800, 60.0, 0.5, 16, 5);
+        let mut cfg = sharded_cfg(2, AccessMode::Hybrid);
+        cfg.engine.machine.gpu.cache.capacity_bytes = 64 << 10;
+        let mut e = ShardedEngine::load(cfg, &g);
+        let run = e.cc();
+        assert_eq!(run.comp, algo::cc_labels(&g));
+        for (d, s) in run.per_device.iter().enumerate() {
+            assert!(
+                s.transfer.staged_regions > 0,
+                "device {d} full sweep must stage its owned range"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_shards_are_skipped_not_launched() {
+        // More devices than vertices: trailing shards own nothing and
+        // must not launch kernels.
+        let g = generators::uniform_random(3, 2, 1);
+        let mut e = ShardedEngine::load(sharded_cfg(8, AccessMode::MergedAligned), &g);
+        let run = e.bfs(0);
+        assert_eq!(run.levels, algo::bfs_levels(&g, 0));
+        let launched: u64 = run.per_device.iter().map(|s| s.kernel_launches).sum();
+        assert!(launched > 0);
+        assert!(
+            run.per_device.iter().any(|s| s.kernel_launches == 0),
+            "empty shards must stay idle"
+        );
+    }
+}

@@ -32,11 +32,13 @@ pub mod compress;
 pub mod csr;
 pub mod datasets;
 pub mod generators;
+pub mod partition;
 
 pub use analysis::DegreeCdf;
 pub use builder::EdgeListBuilder;
 pub use csr::CsrGraph;
 pub use datasets::{Dataset, DatasetKey, DatasetSpec};
+pub use partition::{PartitionStrategy, VertexPartition};
 
 /// Vertex identifier. The scaled datasets stay far below `u32::MAX`
 /// vertices; the simulated *element size* of the edge list (4 or 8 bytes,

@@ -1,0 +1,231 @@
+//! Vertex partitioners for sharded multi-GPU traversal.
+//!
+//! EMOGI's multi-GPU execution assigns each GPU a slice of the vertex
+//! set; per iteration a GPU expands only the frontier vertices it owns,
+//! reading their neighbour lists over its own host link. Both shipped
+//! partitioners produce **contiguous** vertex ranges — contiguity keeps
+//! every shard's edge-list reads a dense byte range (good for the hybrid
+//! transfer planner) and makes ownership lookup a binary search:
+//!
+//! * [`PartitionStrategy::Contiguous`] splits the vertex id space into
+//!   equal-count ranges — trivial, but skewed graphs concentrate edges
+//!   in few vertices, so shard *work* can be wildly unbalanced;
+//! * [`PartitionStrategy::DegreeBalanced`] places the split points so
+//!   every shard owns roughly the same number of **edges** (the CSR
+//!   offset array is the degree prefix sum, so the split is a binary
+//!   search per boundary), which is what balances per-iteration PCIe
+//!   traffic on power-law graphs.
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// How to split the vertex set across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionStrategy {
+    /// Equal vertex counts per shard.
+    Contiguous,
+    /// Equal edge counts per shard (balanced CSR offset spans).
+    DegreeBalanced,
+}
+
+impl PartitionStrategy {
+    /// Both shipped strategies.
+    pub fn all() -> [PartitionStrategy; 2] {
+        [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::DegreeBalanced,
+        ]
+    }
+
+    /// Display name of the strategy.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::Contiguous => "contiguous",
+            PartitionStrategy::DegreeBalanced => "degree-balanced",
+        }
+    }
+
+    /// Partition `graph` into `shards` contiguous vertex ranges.
+    pub fn partition(self, graph: &CsrGraph, shards: usize) -> VertexPartition {
+        match self {
+            PartitionStrategy::Contiguous => {
+                VertexPartition::contiguous(graph.num_vertices(), shards)
+            }
+            PartitionStrategy::DegreeBalanced => VertexPartition::degree_balanced(graph, shards),
+        }
+    }
+}
+
+/// A partition of `0..n` into contiguous shard ranges: shard `s` owns
+/// vertices `starts[s]..starts[s + 1]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexPartition {
+    /// `shards + 1` monotone boundaries, `starts[0] == 0` and
+    /// `starts[shards] == n`.
+    starts: Vec<VertexId>,
+}
+
+impl VertexPartition {
+    /// Equal-vertex-count split of `0..n` into `shards` ranges (the
+    /// first `n % shards` ranges are one vertex larger).
+    pub fn contiguous(n: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        let n = n as u64;
+        let s = shards as u64;
+        let starts = (0..=s).map(|i| ((n * i) / s) as VertexId).collect();
+        Self { starts }
+    }
+
+    /// Split placing each boundary where the CSR offset array crosses
+    /// the next multiple of `|E| / shards`, so every shard owns about
+    /// the same number of edge-list entries. Degenerates to single-
+    /// vertex steps around mega-hubs (a range is never empty unless the
+    /// graph has fewer vertices than shards).
+    pub fn degree_balanced(graph: &CsrGraph, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        let n = graph.num_vertices() as u32;
+        let e = graph.num_edges() as u64;
+        let mut starts = Vec::with_capacity(shards + 1);
+        starts.push(0u32);
+        for s in 1..shards {
+            let target = e * s as u64 / shards as u64;
+            // First vertex whose list starts at or past the target (the
+            // offset array is the degree prefix sum).
+            let split = graph.offsets().partition_point(|&off| off < target) as u32;
+            let prev = *starts.last().unwrap();
+            // Monotone, and advance at least one vertex while any remain
+            // (mega-hub ranges collapse to single vertices, and graphs
+            // with fewer vertices than shards leave trailing ranges
+            // empty).
+            starts.push(split.max((prev + 1).min(n)).min(n));
+        }
+        starts.push(n);
+        Self { starts }
+    }
+
+    /// Shards in the partition.
+    pub fn num_shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The contiguous vertex range shard `s` owns.
+    pub fn range(&self, s: usize) -> std::ops::Range<VertexId> {
+        self.starts[s]..self.starts[s + 1]
+    }
+
+    /// The shard owning vertex `v`.
+    pub fn owner(&self, v: VertexId) -> usize {
+        debug_assert!(v < *self.starts.last().unwrap(), "vertex out of range");
+        self.starts.partition_point(|&b| b <= v) - 1
+    }
+
+    /// Split a **sorted** vertex list into per-shard position bounds:
+    /// shard `s`'s vertices are `sorted[bounds[s].0..bounds[s].1]`.
+    pub fn slice_bounds(&self, sorted: &[VertexId]) -> Vec<(usize, usize)> {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+        let mut bounds = Vec::with_capacity(self.num_shards());
+        let mut lo = 0usize;
+        for s in 0..self.num_shards() {
+            let end = self.starts[s + 1];
+            let hi = lo + sorted[lo..].partition_point(|&v| v < end);
+            bounds.push((lo, hi));
+            lo = hi;
+        }
+        bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn contiguous_splits_cover_without_overlap() {
+        let p = VertexPartition::contiguous(10, 3);
+        assert_eq!(p.num_shards(), 3);
+        assert_eq!(p.range(0), 0..3);
+        assert_eq!(p.range(1), 3..6);
+        assert_eq!(p.range(2), 6..10);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(3), 1);
+        assert_eq!(p.owner(9), 2);
+    }
+
+    #[test]
+    fn degree_balanced_equalizes_edge_counts_on_skewed_graphs() {
+        let g = generators::kronecker(11, 16, 7);
+        let e = g.num_edges() as u64;
+        for shards in [2usize, 4] {
+            let p = VertexPartition::degree_balanced(&g, shards);
+            let edges_of = |s: usize| -> u64 {
+                let r = p.range(s);
+                if r.is_empty() {
+                    0
+                } else {
+                    g.neighbor_end(r.end - 1) - g.neighbor_start(r.start)
+                }
+            };
+            let max = (0..shards).map(edges_of).max().unwrap();
+            let sum: u64 = (0..shards).map(edges_of).sum();
+            assert_eq!(sum, e, "shards must cover every edge exactly once");
+            // Perfect balance is e/shards; allow slack for hub rounding.
+            assert!(
+                max < 2 * e / shards as u64,
+                "{shards} shards: max {max} vs total {e}"
+            );
+
+            // Contiguous on the same skewed graph is far worse balanced.
+            let c = VertexPartition::contiguous(g.num_vertices(), shards);
+            let cmax = (0..shards)
+                .map(|s| {
+                    let r = c.range(s);
+                    g.neighbor_end(r.end - 1) - g.neighbor_start(r.start)
+                })
+                .max()
+                .unwrap();
+            assert!(
+                max <= cmax,
+                "degree-balanced max {max} must not exceed contiguous max {cmax}"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_bounds_split_a_sorted_frontier() {
+        let p = VertexPartition::contiguous(100, 4);
+        let f = vec![0u32, 1, 24, 25, 49, 99];
+        let b = p.slice_bounds(&f);
+        assert_eq!(b, vec![(0, 3), (3, 5), (5, 5), (5, 6)]);
+        for (s, &(lo, hi)) in b.iter().enumerate() {
+            for &v in &f[lo..hi] {
+                assert_eq!(p.owner(v), s);
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_vertices_leaves_trailing_shards_empty() {
+        let g = generators::uniform_random(3, 2, 1);
+        for strategy in PartitionStrategy::all() {
+            let p = strategy.partition(&g, 8);
+            assert_eq!(p.num_shards(), 8);
+            let total: usize = (0..8).map(|s| p.range(s).len()).sum();
+            assert_eq!(total, 3, "{strategy:?}");
+            // Every vertex owned exactly once.
+            for v in 0..3u32 {
+                let o = p.owner(v);
+                assert!(p.range(o).contains(&v), "{strategy:?} vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let g = generators::uniform_random(50, 4, 2);
+        for strategy in PartitionStrategy::all() {
+            let p = strategy.partition(&g, 1);
+            assert_eq!(p.range(0), 0..50);
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! Layout:
 //! * [`alloc`] — simulated address spaces (device / pinned-host / managed);
 //! * [`machine`] — the machine bundle: GPU + link + DRAMs + cache + UVM;
+//! * [`group`] — the multi-GPU device group: one machine per simulated
+//!   GPU plus the inter-device exchange interconnect;
 //! * [`exec`] — the discrete-event executor and the [`Kernel`] trait;
 //! * [`transfer`] — the hybrid zero-copy / DMA transfer manager;
 //! * [`report`] — per-kernel and per-run statistics;
@@ -21,6 +23,7 @@
 
 pub mod alloc;
 pub mod exec;
+pub mod group;
 pub mod machine;
 pub mod report;
 pub mod transfer;
@@ -28,6 +31,7 @@ pub mod util;
 
 pub use alloc::{AddressSpaces, DEVICE_BASE, HOST_BASE, MANAGED_BASE};
 pub use exec::{Kernel, StepOutcome};
+pub use group::{DeviceGroup, DeviceGroupConfig};
 pub use machine::{Machine, MachineConfig};
 pub use report::{KernelReport, RunStats};
 pub use transfer::{RegionMap, TransferConfig, TransferManager, TransferStats};

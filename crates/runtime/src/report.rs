@@ -37,7 +37,7 @@ impl KernelReport {
 
 /// Cumulative measurements for a whole traversal run (all kernel launches
 /// of one BFS/SSSP/CC execution), diffed off the machine's monitors.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Total simulated wall time.
     pub elapsed_ns: Time,
@@ -101,6 +101,33 @@ impl RunStats {
         } else {
             self.host_bytes as f64 / self.elapsed_ns as f64
         };
+    }
+
+    /// Fold the per-device stats of one multi-GPU run into a group
+    /// total. The devices ran *concurrently*, so elapsed time is the
+    /// maximum (the devices' clocks are barrier-aligned each iteration);
+    /// every traffic counter sums across links, the size histograms
+    /// merge, and the average bandwidth is re-derived as aggregate bytes
+    /// over the shared wall clock.
+    pub fn aggregate_concurrent(per_device: &[RunStats]) -> RunStats {
+        let mut total = RunStats::default();
+        for s in per_device {
+            total.elapsed_ns = total.elapsed_ns.max(s.elapsed_ns);
+            total.kernel_launches += s.kernel_launches;
+            total.pcie_read_requests += s.pcie_read_requests;
+            total.request_sizes.merge(&s.request_sizes);
+            total.host_bytes += s.host_bytes;
+            total.page_faults += s.page_faults;
+            total.pages_migrated += s.pages_migrated;
+            total.host_dram_bytes += s.host_dram_bytes;
+            total.transfer += s.transfer;
+        }
+        total.avg_pcie_gbps = if total.elapsed_ns == 0 {
+            0.0
+        } else {
+            total.host_bytes as f64 / total.elapsed_ns as f64
+        };
+        total
     }
 }
 

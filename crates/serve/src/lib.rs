@@ -22,13 +22,22 @@
 //! `serve` experiment in `emogi_bench` measures the payoff: fewer total
 //! PCIe bytes and higher queries/sec than sequential execution on
 //! overlapping-frontier workloads.
+//!
+//! The **device-group path** ([`ShardedServer`]) serves the same query
+//! types over a multi-GPU [`ShardedEngine`](emogi_core::ShardedEngine):
+//! identical admission control and scheduler grouping, but each query's
+//! iterations shard across every device instead of sharing fetches with
+//! its batch — the latency-oriented counterpart to the
+//! throughput-oriented batched path.
 
 #![warn(missing_docs)]
 
 pub mod query;
 pub mod scheduler;
 pub mod server;
+pub mod sharded;
 
 pub use query::{Query, QueryId, QueryKind, QueryResult, SubmitError};
 pub use scheduler::{next_batch, QueryBatch};
 pub use server::{QueryServer, ServerConfig, ServerStats};
+pub use sharded::ShardedServer;

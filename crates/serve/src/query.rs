@@ -175,3 +175,34 @@ impl std::fmt::Display for SubmitError {
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Shared admission control for every server front end: bound the
+/// pending queue, check the source range, and require one weight per
+/// edge for SSSP. `pending` is the queue depth *before* this query.
+pub(crate) fn admit(
+    graph: &emogi_graph::CsrGraph,
+    pending: usize,
+    capacity: usize,
+    query: &Query,
+) -> Result<(), SubmitError> {
+    if pending >= capacity {
+        return Err(SubmitError::QueueFull { capacity });
+    }
+    let nv = graph.num_vertices();
+    if query.src() as usize >= nv {
+        return Err(SubmitError::SourceOutOfRange {
+            src: query.src(),
+            num_vertices: nv,
+        });
+    }
+    if let Query::Sssp { weights, .. } = query {
+        let want = graph.num_edges();
+        if weights.len() != want {
+            return Err(SubmitError::WeightCountMismatch {
+                got: weights.len(),
+                want,
+            });
+        }
+    }
+    Ok(())
+}

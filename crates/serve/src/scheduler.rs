@@ -105,6 +105,38 @@ mod tests {
     }
 
     #[test]
+    fn saturating_alternating_burst_alternates_batch_kinds() {
+        // A saturating burst of strictly alternating kinds: every batch
+        // anchors on the globally oldest pending query, so the kinds
+        // alternate instead of one kind draining the queue first.
+        let mut queue: VecDeque<_> = (0..12u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    q(i, Query::bfs(i as u32))
+                } else {
+                    q(i, Query::sssp(i as u32, weights()))
+                }
+            })
+            .collect();
+        let mut anchors = Vec::new();
+        while let Some(batch) = next_batch(&mut queue, 3) {
+            assert!(batch.len() <= 3);
+            // FIFO anchoring: the first member is the oldest pending id.
+            anchors.push((batch.kind, batch.queries[0].0));
+        }
+        assert_eq!(
+            anchors,
+            vec![
+                (QueryKind::Bfs, QueryId(0)),
+                (QueryKind::Sssp, QueryId(1)),
+                (QueryKind::Bfs, QueryId(6)),
+                (QueryKind::Sssp, QueryId(7)),
+            ],
+            "kinds must alternate under a saturating alternating burst"
+        );
+    }
+
+    #[test]
     fn interleaved_kinds_do_not_starve() {
         let mut queue: VecDeque<_> = vec![
             q(0, Query::sssp(0, weights())),

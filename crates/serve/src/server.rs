@@ -136,28 +136,12 @@ impl<'g> QueryServer<'g> {
     }
 
     fn admit(&self, query: &Query) -> Result<(), SubmitError> {
-        if self.pending.len() >= self.cfg.queue_capacity {
-            return Err(SubmitError::QueueFull {
-                capacity: self.cfg.queue_capacity,
-            });
-        }
-        let nv = self.engine.graph().num_vertices();
-        if query.src() as usize >= nv {
-            return Err(SubmitError::SourceOutOfRange {
-                src: query.src(),
-                num_vertices: nv,
-            });
-        }
-        if let Query::Sssp { weights, .. } = query {
-            let want = self.engine.graph().num_edges();
-            if weights.len() != want {
-                return Err(SubmitError::WeightCountMismatch {
-                    got: weights.len(),
-                    want,
-                });
-            }
-        }
-        Ok(())
+        crate::query::admit(
+            self.engine.graph(),
+            self.pending.len(),
+            self.cfg.queue_capacity,
+            query,
+        )
     }
 
     /// Queries waiting for execution.

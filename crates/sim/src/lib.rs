@@ -20,6 +20,7 @@
 pub mod dma;
 pub mod dram;
 pub mod events;
+pub mod interconnect;
 pub mod monitor;
 pub mod pcie;
 pub mod time;
@@ -27,6 +28,7 @@ pub mod time;
 pub use dma::DmaEngine;
 pub use dram::{Dram, DramConfig};
 pub use events::EventQueue;
+pub use interconnect::{Interconnect, InterconnectConfig, LinkStats, PeerLinkConfig};
 pub use monitor::{BandwidthSeries, SizeHistogram, TrafficMonitor};
 pub use pcie::{PcieConfig, PcieGen, PcieLink, ReadOutcome, ReqId};
 pub use time::{bytes_over_bandwidth_ns, Time};

@@ -242,12 +242,23 @@ pub mod collection {
 }
 
 /// Run one test function's cases; used by the `proptest!` expansion.
+///
+/// The seed is derived from the test name (FNV-1a), so failures
+/// reproduce run-to-run with no flags. Setting `EMOGI_PROPTEST_SEED=<n>`
+/// mixes an explicit seed in on top — CI pins it so a red CI run is
+/// reproduced locally by exporting the same value.
 pub fn run_cases(name: &str, cfg: &ProptestConfig, mut case: impl FnMut(&mut TestRng)) {
-    // Stable per-test seed so failures reproduce run-to-run (FNV-1a).
     let mut seed = 0xcbf2_9ce4_8422_2325u64;
     for b in name.bytes() {
         seed ^= u64::from(b);
         seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    if let Some(explicit) = std::env::var("EMOGI_PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        // splitmix the explicit seed so adjacent values diverge fully.
+        seed ^= TestRng::new(explicit).next_u64();
     }
     for i in 0..cfg.cases {
         let mut rng = TestRng::new(seed ^ (u64::from(i) << 32));

@@ -11,10 +11,12 @@
 //! * [`graph`] — CSR graphs and the Table 2 dataset generators
 //! * [`core`] — EMOGI itself: the place-once, query-many [`core::Engine`]
 //!   and the [`core::VertexProgram`] algorithms (BFS / SSSP / CC /
-//!   PageRank), plus batched multi-query execution
+//!   PageRank), batched multi-query execution, and the sharded
+//!   multi-GPU [`core::ShardedEngine`]
 //! * [`serve`] — the concurrent-query front end: [`serve::QueryServer`]
 //!   with admission control and a compatibility scheduler that batches
-//!   queries so overlapping frontiers share PCIe cache lines
+//!   queries so overlapping frontiers share PCIe cache lines, plus the
+//!   device-group path ([`serve::ShardedServer`])
 //! * [`baselines`] — UVM, HALO-style and Subway-style comparison systems
 //!
 //! Most users want the [`prelude`]:
@@ -37,9 +39,10 @@ pub use emogi_serve as serve;
 pub use emogi_sim as sim;
 pub use emogi_uvm as uvm;
 
-/// Everything a typical engine user needs in one import: the engine and
-/// its configs, the four shipped vertex programs (plus the trait to write
-/// your own), access strategies/modes/placements, graph types and
+/// Everything a typical engine user needs in one import: the engines
+/// (single-device and sharded multi-GPU) and their configs, the four
+/// shipped vertex programs (plus the trait to write your own), access
+/// strategies/modes/placements, vertex partitioners, graph types and
 /// generators, the CPU reference algorithms, machine presets and the
 /// comparison baselines.
 pub mod prelude {
@@ -48,15 +51,20 @@ pub mod prelude {
     pub use emogi_core::{
         AccessMode, AccessPattern, AccessStrategy, BatchRun, BfsOutput, BfsProgram, BfsRun,
         CcOutput, CcProgram, CcRun, DeviceWork, EdgeEffect, EdgePlacement, Engine, EngineConfig,
-        PageRankOutput, PageRankProgram, PageRankRun, Run, SsspOutput, SsspProgram, SsspRun,
-        VertexProgram,
+        PageRankOutput, PageRankProgram, PageRankRun, Run, ShardedConfig, ShardedEngine,
+        ShardedRun, SsspOutput, SsspProgram, SsspRun, VertexProgram,
     };
     pub use emogi_graph::{
-        algo, datasets, generators, CsrGraph, Dataset, DatasetKey, EdgeListBuilder, VertexId,
-        UNVISITED,
+        algo, datasets, generators, CsrGraph, Dataset, DatasetKey, EdgeListBuilder,
+        PartitionStrategy, VertexId, VertexPartition, UNVISITED,
     };
-    pub use emogi_runtime::{Machine, MachineConfig, RunStats, TransferConfig, TransferStats};
+    pub use emogi_runtime::{
+        DeviceGroup, DeviceGroupConfig, Machine, MachineConfig, RunStats, TransferConfig,
+        TransferStats,
+    };
     pub use emogi_serve::{
-        Query, QueryId, QueryKind, QueryResult, QueryServer, ServerConfig, ServerStats, SubmitError,
+        Query, QueryId, QueryKind, QueryResult, QueryServer, ServerConfig, ServerStats,
+        ShardedServer, SubmitError,
     };
+    pub use emogi_sim::interconnect::PeerLinkConfig;
 }

@@ -1,0 +1,39 @@
+//! Shared generators for the integration-test suites: random graphs and
+//! query mixes used by `proptests.rs`, `serve_proptests.rs` and
+//! `sharded_differential.rs`.
+//!
+//! Each integration test binary compiles this module independently
+//! (`mod common;`), so not every helper is used by every binary.
+#![allow(dead_code)]
+
+use emogi_repro::graph::{CsrGraph, EdgeListBuilder};
+use proptest::prelude::*;
+
+/// Build a symmetrized CSR graph over `n` vertices from arbitrary edge
+/// pairs (endpoints taken modulo `n`). Symmetrization keeps every graph
+/// valid for CC.
+pub fn build_graph(edges: &[(u32, u32)], n: u32) -> CsrGraph {
+    let mut b = EdgeListBuilder::new(n as usize).symmetrize(true);
+    for &(s, d) in edges {
+        b.push(s % n, d % n);
+    }
+    b.build()
+}
+
+/// Strategy: an arbitrary edge list over `n` vertices with `1..max_len`
+/// entries, for [`build_graph`].
+pub fn edges(n: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..n, 0u32..n), 1..max_len)
+}
+
+/// Strategy: `1..max_len` source vertices over `n` vertices (BFS/SSSP
+/// query bursts).
+pub fn sources(n: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..n, 1..max_len)
+}
+
+/// Strategy: a mixed query burst — `(is_bfs, source)` pairs over `n`
+/// vertices.
+pub fn query_mix(n: u32, max_len: usize) -> impl Strategy<Value = Vec<(bool, u32)>> {
+    prop::collection::vec((any::<bool>(), 0u32..n), 1..max_len)
+}

@@ -96,6 +96,34 @@ fn pagerank_experiment_verifies_all_modes() {
 }
 
 #[test]
+fn scaling_experiment_produces_table_and_scales() {
+    let tables = experiments::run("scaling", &ctx());
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(t.id, "scaling");
+    // 3 device counts x 2 partitioners, outputs verified against the
+    // CPU reference inside measure() itself.
+    assert_eq!(t.rows.len(), 6);
+    for row in &t.rows {
+        assert_eq!(row.len(), t.headers.len());
+    }
+    // Assert the acceptance bars on the table's speedup column (one
+    // measure() run serves both checks): ≥1.6x at 2 devices and ≥2.5x
+    // at 4 with degree-balanced shards on GK.
+    let speedup = |devices: &str| -> f64 {
+        t.rows
+            .iter()
+            .find(|r| r[0] == devices && r[1] == "degree-balanced")
+            .unwrap_or_else(|| panic!("no {devices}-device degree-balanced row"))[3]
+            .parse()
+            .unwrap()
+    };
+    let (s2, s4) = (speedup("2"), speedup("4"));
+    assert!(s2 >= 1.6, "2-device speedup {s2:.2}");
+    assert!(s4 >= 2.5, "4-device speedup {s4:.2}");
+}
+
+#[test]
 #[should_panic(expected = "unknown experiment id")]
 fn unknown_id_is_rejected() {
     let _ = experiments::run("fig99", &ctx());

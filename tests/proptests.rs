@@ -1,6 +1,8 @@
 //! Property-based tests (proptest) over the core data structures and the
 //! end-to-end engines.
 
+mod common;
+
 use emogi_repro::core::{AccessStrategy, EdgePlacement, Engine, EngineConfig};
 use emogi_repro::gpu::access::{LaneAccess, Space};
 use emogi_repro::gpu::cache::{CacheConfig, SectoredCache};
@@ -147,14 +149,10 @@ proptest! {
     /// graphs, for every strategy. Expensive, so few cases.
     #[test]
     fn emogi_bfs_equals_reference_on_arbitrary_graphs(
-        edges in prop::collection::vec((0u32..96, 0u32..96), 1..500),
+        edges in common::edges(96, 500),
         strategy_idx in 0usize..3,
     ) {
-        let mut b = EdgeListBuilder::new(96).symmetrize(true);
-        for &(s, d) in &edges {
-            b.push(s, d);
-        }
-        let g: CsrGraph = b.build();
+        let g: CsrGraph = common::build_graph(&edges, 96);
         let src = edges[0].0.min(edges[0].1);
         prop_assume!(g.degree(src) > 0);
         let strategy = AccessStrategy::all()[strategy_idx];
@@ -169,17 +167,13 @@ proptest! {
     /// SSSP, CC and PageRank alike.
     #[test]
     fn every_program_strategy_placement_matches_the_cpu_references(
-        edges in prop::collection::vec((0u32..80, 0u32..80), 1..300),
+        edges in common::edges(80, 300),
         strategy_idx in 0usize..3,
         placement_idx in 0usize..2,
     ) {
         use emogi_repro::graph::datasets::generate_weights;
 
-        let mut b = EdgeListBuilder::new(80).symmetrize(true);
-        for &(s, d) in &edges {
-            b.push(s, d);
-        }
-        let g: CsrGraph = b.build();
+        let g: CsrGraph = common::build_graph(&edges, 80);
         let src = edges[0].0.min(edges[0].1);
         prop_assume!(g.degree(src) > 0);
         let w = generate_weights(g.num_edges(), 7);
@@ -225,13 +219,9 @@ proptest! {
     /// program, even as staging decisions diverge across the runs.
     #[test]
     fn hybrid_transport_never_changes_results(
-        edges in prop::collection::vec((0u32..64, 0u32..64), 1..250),
+        edges in common::edges(64, 250),
     ) {
-        let mut b = EdgeListBuilder::new(64).symmetrize(true);
-        for &(s, d) in &edges {
-            b.push(s, d);
-        }
-        let g: CsrGraph = b.build();
+        let g: CsrGraph = common::build_graph(&edges, 64);
         let src = edges[0].0.min(edges[0].1);
         prop_assume!(g.degree(src) > 0);
 
@@ -249,13 +239,9 @@ proptest! {
     /// relative to merged, never increase it, on any graph.
     #[test]
     fn alignment_never_increases_requests(
-        edges in prop::collection::vec((0u32..128, 0u32..128), 50..400),
+        edges in common::edges(128, 400),
     ) {
-        let mut b = EdgeListBuilder::new(128).symmetrize(true);
-        for &(s, d) in &edges {
-            b.push(s, d);
-        }
-        let g: CsrGraph = b.build();
+        let g: CsrGraph = common::build_graph(&edges, 128);
         prop_assume!(g.degree(0) > 0);
         let reqs = |strategy| {
             let mut sys = Engine::load(EngineConfig::emogi_v100().with_strategy(strategy), &g);

@@ -3,18 +3,13 @@
 //! *and* iteration counts — to sequential per-query runs, across every
 //! access mode (including Hybrid).
 
+mod common;
+
+use common::build_graph;
 use emogi_repro::graph::datasets::generate_weights;
 use emogi_repro::prelude::*;
 use proptest::prelude::*;
 use std::sync::Arc;
-
-fn build_graph(edges: &[(u32, u32)], n: u32) -> CsrGraph {
-    let mut b = EdgeListBuilder::new(n as usize).symmetrize(true);
-    for &(s, d) in edges {
-        b.push(s % n, d % n);
-    }
-    b.build()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -24,8 +19,8 @@ proptest! {
     /// shared-fetch flagging contract.
     #[test]
     fn batched_bfs_is_bit_identical_to_sequential(
-        edges in prop::collection::vec((0u32..96, 0u32..96), 1..400),
-        sources in prop::collection::vec(0u32..96, 1..9),
+        edges in common::edges(96, 400),
+        sources in common::sources(96, 9),
         mode_idx in 0usize..4,
     ) {
         let g = build_graph(&edges, 96);
@@ -56,8 +51,8 @@ proptest! {
     /// auxiliary weight stream and per-query contexts.
     #[test]
     fn batched_sssp_is_bit_identical_to_sequential(
-        edges in prop::collection::vec((0u32..64, 0u32..64), 1..300),
-        sources in prop::collection::vec(0u32..64, 1..7),
+        edges in common::edges(64, 300),
+        sources in common::sources(64, 7),
         mode_idx in 0usize..4,
         weight_seed in 0u64..1_000,
     ) {
@@ -88,8 +83,8 @@ proptest! {
     /// engine runs return, in any submission order.
     #[test]
     fn query_server_matches_solo_runs_on_random_mixes(
-        edges in prop::collection::vec((0u32..64, 0u32..64), 1..250),
-        mix in prop::collection::vec((any::<bool>(), 0u32..64), 1..10),
+        edges in common::edges(64, 250),
+        mix in common::query_mix(64, 10),
         mode_idx in 0usize..4,
         max_batch in 1usize..10,
     ) {
