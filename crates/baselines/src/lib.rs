@@ -16,6 +16,8 @@
 //!   and run the iteration entirely from device memory (sync and async
 //!   flavours).
 
+#![forbid(unsafe_code)]
+
 pub mod halo;
 pub mod subway;
 

@@ -14,6 +14,8 @@
 //! combination once). Criterion micro-benchmarks for the simulator's own
 //! components live in `benches/`.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod store;
 pub mod table;

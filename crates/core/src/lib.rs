@@ -60,6 +60,7 @@
 //! assert!((pr.ranks.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;

@@ -17,6 +17,8 @@
 //! The execution loop that drives warps against these models lives in
 //! `emogi-runtime`.
 
+#![forbid(unsafe_code)]
+
 pub mod access;
 pub mod cache;
 pub mod coalesce;

@@ -25,6 +25,8 @@
 //! assert!(cdf.cdf_at(96) > 0.99);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algo;
 pub mod analysis;
 pub mod builder;

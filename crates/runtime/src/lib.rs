@@ -19,6 +19,7 @@
 //! * [`report`] — per-kernel and per-run statistics;
 //! * [`util`] — small fast-hash map used on the hot path.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alloc;

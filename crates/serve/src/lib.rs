@@ -30,6 +30,7 @@
 //! its batch — the latency-oriented counterpart to the
 //! throughput-oriented batched path.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod query;

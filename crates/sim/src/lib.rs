@@ -17,6 +17,8 @@
 //! The crate is deliberately GPU-agnostic; the SIMT side lives in
 //! `emogi-gpu` and the two are wired together by `emogi-runtime`.
 
+#![forbid(unsafe_code)]
+
 pub mod dma;
 pub mod dram;
 pub mod events;

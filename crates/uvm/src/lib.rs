@@ -19,6 +19,8 @@
 //! faults, starts handler batches, and commits them when the simulated
 //! migration completes.
 
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod policy;
 pub mod transfer;

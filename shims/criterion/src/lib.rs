@@ -5,6 +5,10 @@
 //! plain `Instant`-based timing loop: enough to compile, run and print
 //! per-benchmark wall-clock numbers, without criterion's statistics.
 
+// Timing shim: wall-clock use is its whole point. Opt out of the
+// workspace-wide ambient-clock ban (clippy.toml / ambient-nondet).
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

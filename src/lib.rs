@@ -30,6 +30,8 @@
 //! assert_eq!(run.levels, algo::bfs_levels(&graph, 0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use emogi_baselines as baselines;
 pub use emogi_core as core;
 pub use emogi_gpu as gpu;

@@ -1,0 +1,87 @@
+//! Determinism meta-test: the runtime witness behind the static rules
+//! `emogi-lint` enforces (see `ARCHITECTURE.md`, "Determinism
+//! contract").
+//!
+//! Each test runs the *same* scenario twice on **fresh**, identically
+//! configured engines and asserts tick-identical [`RunStats`] and
+//! outputs — for the single-device [`Engine`], for batched multi-query
+//! execution, and for the [`ShardedEngine`] at two devices. Fresh
+//! engines matter: re-running a query on a warm engine legitimately
+//! differs (the page cache remembers), so the contract is about runs
+//! being pure functions of their inputs, not about engines being
+//! memoryless.
+//!
+//! If an ambient clock, a hash-order iteration or an unordered float
+//! fold ever slips past the lint, this is the test that catches it at
+//! runtime.
+
+use emogi_repro::core::sharded::{ShardedConfig, ShardedEngine};
+use emogi_repro::graph::datasets::generate_weights;
+use emogi_repro::prelude::*;
+
+fn graph() -> CsrGraph {
+    generators::uniform_random(900, 8, 20260808)
+}
+
+fn fresh(g: &CsrGraph) -> Engine<'_> {
+    Engine::load(EngineConfig::emogi_v100(), g)
+}
+
+/// Single-device engine: BFS, SSSP and PageRank (the float path) are
+/// tick-identical across fresh engines.
+#[test]
+fn engine_runs_are_tick_identical_across_fresh_engines() {
+    let g = graph();
+    let w = generate_weights(g.num_edges(), 7);
+
+    let (a, b) = (fresh(&g).bfs(3), fresh(&g).bfs(3));
+    assert_eq!(a.output.levels, b.output.levels);
+    assert_eq!(a.stats, b.stats, "bfs RunStats must be tick-identical");
+
+    let (a, b) = (fresh(&g).sssp(&w, 3), fresh(&g).sssp(&w, 3));
+    assert_eq!(a.output.dist, b.output.dist);
+    assert_eq!(a.stats, b.stats, "sssp RunStats must be tick-identical");
+
+    let (a, b) = (fresh(&g).pagerank(0.85, 12), fresh(&g).pagerank(0.85, 12));
+    assert_eq!(
+        a.output.ranks, b.output.ranks,
+        "ranks must be bit-identical (canonical-order fold)"
+    );
+    assert_eq!(a.output.iterations, b.output.iterations);
+    assert_eq!(a.stats, b.stats, "pagerank RunStats must be tick-identical");
+}
+
+/// Batched multi-query execution: per-query outputs, per-query
+/// attributed stats and batch-wide totals are all tick-identical.
+#[test]
+fn batched_runs_are_tick_identical_across_fresh_engines() {
+    let g = graph();
+    let batch = |g: &CsrGraph| {
+        fresh(g).run_batch(vec![
+            BfsProgram::new(g, 3),
+            BfsProgram::new(g, 41),
+            BfsProgram::new(g, 177),
+        ])
+    };
+    let (a, b) = (batch(&g), batch(&g));
+    assert_eq!(a.stats, b.stats, "batch totals must be tick-identical");
+    assert_eq!(a.runs.len(), b.runs.len());
+    for (q, (x, y)) in a.runs.iter().zip(&b.runs).enumerate() {
+        assert_eq!(x.output.levels, y.output.levels, "query {q} levels");
+        assert_eq!(x.stats, y.stats, "query {q} attributed stats");
+    }
+}
+
+/// Sharded engine at two devices: output, group totals, *per-device*
+/// stats and exchange traffic are all tick-identical.
+#[test]
+fn sharded_runs_are_tick_identical_at_two_devices() {
+    let g = graph();
+    let run = |g: &CsrGraph| ShardedEngine::load(ShardedConfig::emogi_v100(2), g).bfs(3);
+    let (a, b) = (run(&g), run(&g));
+    assert_eq!(a.output.levels, b.output.levels);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.stats, b.stats, "group totals must be tick-identical");
+    assert_eq!(a.per_device, b.per_device, "per-device stats must match");
+    assert_eq!(a.exchange, b.exchange, "exchange traffic must match");
+}

@@ -1,0 +1,10 @@
+// Known-bad: ambient clock and OS randomness inside a deterministic
+// crate — exactly what an async-pipelined transfer path would be
+// tempted to reach for.
+use std::time::Instant;
+
+pub fn schedule_transfer(queue_len: usize) -> u64 {
+    let started = Instant::now();
+    let jitter = rand::random::<u64>() % 7;
+    started.elapsed().as_nanos() as u64 + queue_len as u64 + jitter
+}

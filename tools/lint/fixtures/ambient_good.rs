@@ -1,0 +1,7 @@
+// Known-good: time is the simulated tick counter, randomness is a
+// seeded PRNG passed in by the caller.
+pub type Time = u64;
+
+pub fn schedule_transfer(now: Time, queue_len: usize, seeded_jitter: u64) -> Time {
+    now + queue_len as u64 + seeded_jitter % 7
+}

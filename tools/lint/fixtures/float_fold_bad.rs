@@ -1,0 +1,17 @@
+// Known-bad: rank mass accumulated in visit order inside the per-edge
+// hook. Floating-point addition is not associative, so the result now
+// depends on warp interleaving and shard count — the ranks would differ
+// between Engine and ShardedEngine at 2 devices.
+pub struct Ranks {
+    next: Vec<f64>,
+}
+
+impl Ranks {
+    fn edge(&mut self, dst: usize, contrib: f64) {
+        self.next[dst] += contrib;
+    }
+
+    fn total(&self, v: &[f64]) -> f64 {
+        v.iter().sum::<f64>()
+    }
+}

@@ -1,0 +1,17 @@
+// Known-good: the fold is declared canonical-order — it walks vertices
+// ascending and each neighbour list in CSR order, so every execution
+// plan produces bit-identical sums (PageRank's sanctioned pattern).
+pub struct Ranks {
+    next: Vec<f64>,
+}
+
+impl Ranks {
+    fn post_iteration(&mut self, contrib: &[f64], lists: &[Vec<usize>]) {
+        for v in 0..contrib.len() {
+            for &dst in &lists[v] {
+                // emogi-lint: allow(float-fold, canonical-order) — folded in CSR order, vertex-ascending
+                self.next[dst] += contrib[v];
+            }
+        }
+    }
+}

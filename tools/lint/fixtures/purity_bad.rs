@@ -1,0 +1,17 @@
+// Known-bad: a kernel step hook that re-captures program state mid-launch
+// instead of reading the pre-captured iteration-start context. This is
+// the exact regression that would silently break batched/sharded
+// bit-identity: the context would depend on how earlier warp tasks of
+// the *same* iteration interleaved.
+pub struct Kern;
+
+impl Kern {
+    fn step(&mut self, v: u32) -> u32 {
+        let ctx = self.program.source_ctx(v); // live state, not iteration-start
+        self.visit(v, ctx)
+    }
+
+    fn visit_edge(&mut self, m: &mut Machine) {
+        m.now += 1; // hooks must never touch the simulated machine
+    }
+}

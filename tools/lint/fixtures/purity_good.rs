@@ -1,0 +1,15 @@
+// Known-good: the step hook reads only pre-captured contexts (the
+// `ctxs` vector filled at kernel construction), and capture itself
+// happens in the constructor — which is not a hook.
+pub struct Kern;
+
+impl Kern {
+    pub fn new(&mut self, work: &[u32]) {
+        self.ctxs = work.iter().map(|&v| self.program.source_ctx(v)).collect();
+    }
+
+    fn step(&mut self, i: usize) -> u32 {
+        let ctx = self.ctxs[i];
+        self.visit(i, ctx)
+    }
+}

@@ -1,0 +1,20 @@
+// Known-bad: the executor drains its in-flight map in hash order and
+// lets that order reach a stats counter — the bug class PR 3/4's
+// bit-identity work exists to prevent.
+use std::collections::HashMap;
+
+pub struct Pending {
+    lines: HashMap<u64, u32>,
+}
+
+impl Pending {
+    pub fn flush(&mut self, out: &mut Vec<u64>) {
+        for (addr, _) in self.lines.drain() {
+            out.push(addr); // hash order escapes into `out`
+        }
+    }
+
+    pub fn waiters(&self) -> Vec<u32> {
+        self.lines.values().copied().collect()
+    }
+}

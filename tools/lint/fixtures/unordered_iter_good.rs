@@ -1,0 +1,26 @@
+// Known-good: point lookups are always fine; iteration is fine when the
+// result is explicitly sorted before the order can escape, or when a
+// reasoned waiver vouches for it.
+use std::collections::HashMap;
+
+pub struct Pending {
+    lines: HashMap<u64, u32>,
+}
+
+impl Pending {
+    pub fn lookup(&self, addr: u64) -> Option<u32> {
+        self.lines.get(&addr).copied()
+    }
+
+    pub fn flush_sorted(&mut self, out: &mut Vec<u64>) {
+        let mut addrs: Vec<u64> = self.lines.keys().copied().collect();
+        addrs.sort_unstable();
+        out.extend(addrs);
+        self.lines.clear();
+    }
+
+    pub fn total(&self) -> u64 {
+        // emogi-lint: allow(unordered-iter) — summing u64s is commutative; no order escapes
+        self.lines.values().map(|&v| u64::from(v)).sum()
+    }
+}

@@ -1,0 +1,5 @@
+// Known-bad crate root: no #![forbid(unsafe_code)] attribute, and an
+// unsafe block on top of it.
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,7 @@
+//! Known-good crate root: locks the workspace's unsafe-free status in.
+
+#![forbid(unsafe_code)]
+
+pub fn peek(v: &[u32], i: usize) -> u32 {
+    v[i]
+}

@@ -1,0 +1,309 @@
+//! `emogi-lint.toml` parsing.
+//!
+//! A deliberately minimal hand-rolled TOML subset (no external crate, in
+//! keeping with the offline-shims philosophy): `[table]` headers,
+//! `[[waiver]]` array-of-tables, `key = "string"` and
+//! `key = ["a", "b", ...]` (arrays may span lines). Comments start with
+//! `#`. That is all the config needs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A rule/path waiver declared in `emogi-lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct TomlWaiver {
+    /// Workspace-relative file the waiver applies to.
+    pub path: String,
+    /// The waived rule id.
+    pub rule: String,
+    /// Optional waiver kind (`float-fold` requires `canonical-order`).
+    pub kind: Option<String>,
+    /// Optional list of function names the waiver is scoped to; empty
+    /// means the whole file.
+    pub scope: Vec<String>,
+    /// The written reason. Required.
+    pub reason: String,
+}
+
+/// The parsed lint configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Crate directories whose `src/**.rs` files are scanned.
+    pub crates: Vec<String>,
+    /// Container types with nondeterministic iteration order.
+    pub hash_types: Vec<String>,
+    /// Forbidden ambient-nondeterminism call patterns (`A::b` or `a`).
+    pub ambient_patterns: Vec<String>,
+    /// Files subject to the kernel-purity rule.
+    pub purity_modules: Vec<String>,
+    /// Function names treated as per-edge/per-vertex hook bodies.
+    pub purity_hooks: Vec<String>,
+    /// Identifiers hook bodies must not touch.
+    pub purity_disallowed: Vec<String>,
+    /// Files subject to the ordered-float-folds rule.
+    pub float_modules: Vec<String>,
+    /// `lib.rs` files that must carry `#![forbid(unsafe_code)]`.
+    pub unsafe_crates: Vec<String>,
+    /// Path/rule waivers.
+    pub waivers: Vec<TomlWaiver>,
+}
+
+/// A configuration error with the offending line.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in the TOML file (0 = whole-file problem).
+    pub line: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "emogi-lint.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: u32, msg: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// One parsed `key = value` entry.
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    List(Vec<String>),
+}
+
+/// Parse the configuration text.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    // section name -> (key -> value); waivers collected separately.
+    let mut sections: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+    let mut waivers: Vec<(u32, BTreeMap<String, Value>)> = Vec::new();
+    let mut current = String::new();
+    let mut in_waiver = false;
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err(lineno, "malformed [[table]] header"))?;
+            if name.trim() != "waiver" {
+                return Err(err(lineno, format!("unknown array table [[{name}]]")));
+            }
+            waivers.push((lineno, BTreeMap::new()));
+            in_waiver = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "malformed [table] header"))?;
+            current = name.trim().to_string();
+            in_waiver = false;
+            continue;
+        }
+        let (key, mut val) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+        let key = key.trim().to_string();
+        let mut buf = val.trim().to_string();
+        // Multi-line array: keep consuming until brackets balance.
+        while buf.starts_with('[') && !brackets_balanced(&buf) {
+            let Some((_, next)) = lines.next() else {
+                return Err(err(lineno, "unterminated array"));
+            };
+            buf.push(' ');
+            buf.push_str(strip_comment(next).trim());
+        }
+        val = &buf;
+        let value = parse_value(val.trim(), lineno)?;
+        if in_waiver {
+            waivers
+                .last_mut()
+                .expect("inside a [[waiver]]")
+                .1
+                .insert(key, value);
+        } else {
+            sections
+                .entry(current.clone())
+                .or_default()
+                .insert(key, value);
+        }
+    }
+
+    let mut cfg = Config::default();
+    let take_list = |sections: &BTreeMap<String, BTreeMap<String, Value>>,
+                     section: &str,
+                     key: &str|
+     -> Vec<String> {
+        match sections.get(section).and_then(|s| s.get(key)) {
+            Some(Value::List(l)) => l.clone(),
+            Some(Value::Str(s)) => vec![s.clone()],
+            None => Vec::new(),
+        }
+    };
+    cfg.crates = take_list(&sections, "lint", "crates");
+    cfg.hash_types = take_list(&sections, "rules.unordered-iter", "types");
+    cfg.ambient_patterns = take_list(&sections, "rules.ambient-nondet", "patterns");
+    cfg.purity_modules = take_list(&sections, "rules.kernel-purity", "modules");
+    cfg.purity_hooks = take_list(&sections, "rules.kernel-purity", "hooks");
+    cfg.purity_disallowed = take_list(&sections, "rules.kernel-purity", "disallowed");
+    cfg.float_modules = take_list(&sections, "rules.float-fold", "modules");
+    cfg.unsafe_crates = take_list(&sections, "rules.forbid-unsafe", "crates");
+
+    for (lineno, fields) in waivers {
+        let get_str = |key: &str| -> Option<String> {
+            match fields.get(key) {
+                Some(Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            }
+        };
+        let w = TomlWaiver {
+            path: get_str("path").unwrap_or_default(),
+            rule: get_str("rule").unwrap_or_default(),
+            kind: get_str("kind"),
+            scope: match fields.get("scope") {
+                Some(Value::List(l)) => l.clone(),
+                Some(Value::Str(s)) => vec![s.clone()],
+                None => Vec::new(),
+            },
+            reason: get_str("reason").unwrap_or_default(),
+        };
+        if w.path.is_empty() || w.rule.is_empty() {
+            return Err(err(lineno, "waiver needs `path` and `rule`"));
+        }
+        if w.reason.trim().is_empty() {
+            return Err(err(
+                lineno,
+                format!(
+                    "waiver for {} ({}) has no written reason — every waiver must say why",
+                    w.path, w.rule
+                ),
+            ));
+        }
+        cfg.waivers.push(w);
+    }
+    Ok(cfg)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` only starts a comment outside quotes.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+fn parse_value(s: &str, line: u32) -> Result<Value, ConfigError> {
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| err(line, "unterminated array"))?;
+        let mut items = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(parse_string(part, line)?);
+        }
+        return Ok(Value::List(items));
+    }
+    Ok(Value::Str(parse_string(s, line)?))
+}
+
+fn parse_string(s: &str, line: u32) -> Result<String, ConfigError> {
+    s.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| err(line, format!("expected a quoted string, got `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[lint]
+crates = [
+    "crates/core",   # trailing comment
+    "crates/runtime",
+]
+
+[rules.unordered-iter]
+types = ["HashMap", "FastMap"]
+
+[rules.kernel-purity]
+modules = ["crates/core/src/kernel.rs"]
+hooks = ["step"]
+disallowed = ["source_ctx"]
+
+[[waiver]]
+path = "crates/core/src/pagerank.rs"
+rule = "float-fold"
+kind = "canonical-order"
+scope = ["post_iteration"]
+reason = "folded in canonical CSR order"
+"#;
+
+    #[test]
+    fn parses_sections_lists_and_waivers() {
+        let cfg = parse(SAMPLE).unwrap();
+        assert_eq!(cfg.crates, vec!["crates/core", "crates/runtime"]);
+        assert_eq!(cfg.hash_types, vec!["HashMap", "FastMap"]);
+        assert_eq!(cfg.purity_hooks, vec!["step"]);
+        assert_eq!(cfg.waivers.len(), 1);
+        let w = &cfg.waivers[0];
+        assert_eq!(w.kind.as_deref(), Some("canonical-order"));
+        assert_eq!(w.scope, vec!["post_iteration"]);
+    }
+
+    #[test]
+    fn reasonless_waiver_is_rejected() {
+        let bad = "[[waiver]]\npath = \"a.rs\"\nrule = \"unordered-iter\"\nreason = \"  \"\n";
+        let e = parse(bad).unwrap_err();
+        assert!(e.msg.contains("no written reason"), "{}", e.msg);
+    }
+
+    #[test]
+    fn waiver_without_path_is_rejected() {
+        let bad = "[[waiver]]\nrule = \"x\"\nreason = \"y\"\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn unknown_array_table_is_rejected() {
+        assert!(parse("[[thing]]\n").is_err());
+    }
+}

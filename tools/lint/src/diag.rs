@@ -1,0 +1,70 @@
+//! Diagnostics: rustc-style `file:line: error[rule-id]: message`.
+
+use std::fmt;
+
+/// The known rule ids, as they appear in `error[...]` and waivers.
+pub mod rules {
+    /// Iteration over a hash container without a sort or waiver.
+    pub const UNORDERED_ITER: &str = "unordered-iter";
+    /// Ambient nondeterminism: wall clocks or OS randomness.
+    pub const AMBIENT_NONDET: &str = "ambient-nondet";
+    /// Kernel hook body touching live (non-iteration-start) state.
+    pub const KERNEL_PURITY: &str = "kernel-purity";
+    /// Floating-point accumulation outside a canonical-order waiver.
+    pub const FLOAT_FOLD: &str = "float-fold";
+    /// Missing `#![forbid(unsafe_code)]` (or an `unsafe` token).
+    pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+    /// A waiver that matched nothing (stale) or is malformed.
+    pub const BAD_WAIVER: &str = "bad-waiver";
+
+    /// Every real (waivable) rule id.
+    pub const ALL: &[&str] = &[
+        UNORDERED_ITER,
+        AMBIENT_NONDET,
+        KERNEL_PURITY,
+        FLOAT_FOLD,
+        FORBID_UNSAFE,
+    ];
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line (0 for file-level findings).
+    pub line: u32,
+    /// Rule id (see [`rules`]).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: error[{}]: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rustc_style() {
+        let d = Diagnostic {
+            path: "crates/core/src/kernel.rs".into(),
+            line: 42,
+            rule: rules::KERNEL_PURITY,
+            message: "no".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/kernel.rs:42: error[kernel-purity]: no"
+        );
+    }
+}

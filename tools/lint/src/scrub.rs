@@ -1,0 +1,492 @@
+//! Source scrubbing and tokenization.
+//!
+//! The analyzer never parses Rust properly; it works on a *scrubbed*
+//! copy of each file in which comments and string/char literals are
+//! replaced by spaces (newlines preserved, so line numbers survive).
+//! Waiver comments (`// emogi-lint: allow(<rule>[, <kind>]) — <reason>`)
+//! are extracted during scrubbing, before the comment text is erased.
+
+/// An inline waiver extracted from a `// emogi-lint: allow(...)` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InlineWaiver {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Whether the comment was alone on its line (then it also covers
+    /// the next line) or trailed code (then it covers only its line).
+    pub standalone: bool,
+    /// The waived rule id, e.g. `unordered-iter`.
+    pub rule: String,
+    /// Optional waiver kind, e.g. `canonical-order` for `float-fold`.
+    pub kind: Option<String>,
+    /// The written reason. Empty means the waiver is invalid.
+    pub reason: String,
+}
+
+/// A scrubbed file: literal-free text plus the extracted waivers.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// The source with comments and literals blanked; same length and
+    /// line structure as the original.
+    pub text: String,
+    /// Inline waivers found in comments.
+    pub waivers: Vec<InlineWaiver>,
+}
+
+/// Marker prefix of a waiver comment (after the `//`).
+pub const WAIVER_MARK: &str = "emogi-lint:";
+
+/// Replace comments and string/char literals with spaces, keeping the
+/// line structure intact, and collect inline waiver comments.
+pub fn scrub(src: &str) -> Scrubbed {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut waivers = Vec::new();
+    let mut line: u32 = 1;
+    // Does the current line contain any non-blank scrubbed output yet?
+    let mut line_has_code = false;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            out[i] = b'\n';
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        // Line comment: blank to end of line, but mine it for waivers.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let end = src[i..].find('\n').map_or(b.len(), |n| i + n);
+            if let Some(w) = parse_waiver(&src[i + 2..end], line, !line_has_code) {
+                waivers.push(w);
+            }
+            i = end;
+            continue;
+        }
+        // Block comment (Rust block comments nest).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'\n' {
+                    out[i] = b'\n';
+                    line += 1;
+                } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 1;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 1;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Raw (byte) string literal: r"..." / r#"..."# / br##"..."##.
+        if c == b'r' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'r') {
+            let start = if c == b'b' { i + 1 } else { i };
+            let mut j = start + 1;
+            let mut hashes = 0;
+            while j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'"' {
+                // Find the closing quote followed by `hashes` hashes.
+                let closer: String = std::iter::once('"')
+                    .chain("#".repeat(hashes).chars())
+                    .collect();
+                let body_end = src[j + 1..]
+                    .find(&closer)
+                    .map_or(b.len(), |n| j + 1 + n + closer.len());
+                for (k, &bb) in b.iter().enumerate().take(body_end).skip(i) {
+                    if bb == b'\n' {
+                        out[k] = b'\n';
+                        line += 1;
+                    }
+                }
+                i = body_end;
+                continue;
+            }
+        }
+        // Plain (byte) string literal.
+        if c == b'"' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'"') {
+            i += if c == b'b' { 2 } else { 1 };
+            while i < b.len() {
+                match b[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        out[i] = b'\n';
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            line_has_code = true;
+            continue;
+        }
+        // Char literal vs lifetime: 'x' / '\n' are literals, 'a (no
+        // closing quote right after) is a lifetime and kept as-is.
+        if c == b'\'' {
+            let lit_end = if i + 2 < b.len() && b[i + 1] == b'\\' {
+                // Escape: find the closing quote within a few bytes.
+                b[i + 2..]
+                    .iter()
+                    .take(8)
+                    .position(|&x| x == b'\'')
+                    .map(|n| i + 2 + n)
+            } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                Some(i + 2)
+            } else {
+                None
+            };
+            if let Some(e) = lit_end {
+                i = e + 1;
+                line_has_code = true;
+                continue;
+            }
+        }
+        out[i] = c;
+        if !c.is_ascii_whitespace() {
+            line_has_code = true;
+        }
+        i += 1;
+    }
+    Scrubbed {
+        text: String::from_utf8(out).expect("scrub output is ASCII-compatible"),
+        waivers,
+    }
+}
+
+/// Parse `emogi-lint: allow(rule[, kind]) <sep> reason` from the body of
+/// a `//` comment. Returns `None` for ordinary comments; a waiver with an
+/// empty `reason` is returned (and later rejected) so a reasonless waiver
+/// is an error, not silently ignored.
+fn parse_waiver(comment: &str, line: u32, standalone: bool) -> Option<InlineWaiver> {
+    let c = comment.trim_start_matches(['/', '!']).trim();
+    let rest = c.strip_prefix(WAIVER_MARK)?.trim();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let args = &rest[..close];
+    let mut parts = args.split(',').map(str::trim);
+    let rule = parts.next().unwrap_or("").to_string();
+    let kind = parts.next().map(str::to_string);
+    // The reason follows the closing paren after a dash/em-dash/colon.
+    let reason = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '–', '-', ':'])
+        .trim()
+        .to_string();
+    Some(InlineWaiver {
+        line,
+        standalone,
+        rule,
+        kind,
+        reason,
+    })
+}
+
+/// One token of scrubbed source: an identifier/number or a (possibly
+/// two-character) operator, with its 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// Token text.
+    pub s: &'a str,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok<'_> {
+    /// Is this token an identifier (or keyword)?
+    pub fn is_ident(&self) -> bool {
+        self.s
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    }
+}
+
+/// Two-character operators kept as single tokens.
+const OPS2: &[&str] = &["::", "+=", "-=", "*=", "/=", "->", "=>", "..", "<<", ">>"];
+
+/// Tokenize scrubbed source.
+pub fn tokenize(text: &str) -> Vec<Tok<'_>> {
+    let b = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                s: &text[start..i],
+                line,
+            });
+            continue;
+        }
+        if i + 1 < b.len() {
+            let two = &text[i..i + 2];
+            if OPS2.contains(&two) {
+                toks.push(Tok { s: two, line });
+                i += 2;
+                continue;
+            }
+        }
+        toks.push(Tok {
+            s: &text[i..i + 1],
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Line ranges (1-based, inclusive) of `#[cfg(test)] mod ... { }` blocks,
+/// so rules can skip test code.
+pub fn test_regions(toks: &[Tok<'_>]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Match `# [ cfg ( test ) ]`.
+        if toks[i].s == "#" && matches(toks, i + 1, &["[", "cfg", "(", "test", ")", "]"]) {
+            // Skip further attributes, then expect `mod <name> {`.
+            let mut j = i + 7;
+            while j < toks.len() && toks[j].s == "#" {
+                j = skip_attribute(toks, j);
+            }
+            if j + 2 < toks.len() && toks[j].s == "mod" && toks[j + 2].s == "{" {
+                let open = j + 2;
+                let close = matching_brace(toks, open);
+                regions.push((toks[i].line, toks[close.min(toks.len() - 1)].line));
+                i = close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn matches(toks: &[Tok<'_>], at: usize, want: &[&str]) -> bool {
+    toks.len() >= at + want.len() && want.iter().enumerate().all(|(k, w)| toks[at + k].s == *w)
+}
+
+/// Given `toks[at] == "#"`, return the index just past the attribute.
+fn skip_attribute(toks: &[Tok<'_>], at: usize) -> usize {
+    let mut j = at + 1;
+    if j < toks.len() && toks[j].s == "!" {
+        j += 1;
+    }
+    if j >= toks.len() || toks[j].s != "[" {
+        return at + 1;
+    }
+    let mut depth = 0;
+    while j < toks.len() {
+        match toks[j].s {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub fn matching_brace(toks: &[Tok<'_>], open: usize) -> usize {
+    let mut depth = 0;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].s {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len() - 1
+}
+
+/// A named function body: token range of `{ ... }` plus line span.
+#[derive(Debug, Clone)]
+pub struct FnBody {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the opening brace.
+    pub open: usize,
+    /// Token index of the closing brace.
+    pub close: usize,
+    /// 1-based first line.
+    pub start_line: u32,
+    /// 1-based last line.
+    pub end_line: u32,
+}
+
+/// Find every `fn <name>` body in the token stream. The body is the
+/// first `{` after the signature at zero paren/bracket depth.
+pub fn fn_bodies(toks: &[Tok<'_>]) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].s == "fn" && toks[i + 1].is_ident() {
+            let name = toks[i + 1].s.to_string();
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            let mut open = None;
+            while j < toks.len() {
+                match toks[j].s {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    // A `;` at depth 0 means a trait method without body.
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = matching_brace(toks, open);
+                out.push(FnBody {
+                    name,
+                    open,
+                    close,
+                    start_line: toks[i].line,
+                    end_line: toks[close].line,
+                });
+                // Continue scanning *inside* the body too (nested fns).
+                i = open + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let src = "let x = \"a // not a comment\"; // real comment\nlet y = 'c';\n";
+        let s = scrub(src);
+        assert!(!s.text.contains("not a comment"));
+        assert!(!s.text.contains("real comment"));
+        assert!(!s.text.contains('c'), "char literal scrubbed: {}", s.text);
+        assert!(s.text.contains("let x ="));
+        assert_eq!(s.text.matches('\n').count(), 2);
+    }
+
+    #[test]
+    fn scrub_handles_nested_block_comments_and_raw_strings() {
+        let src = "a /* outer /* inner */ still */ b r#\"raw \" here\"# c";
+        let s = scrub(src);
+        assert!(s.text.contains('a') && s.text.contains('b') && s.text.contains('c'));
+        assert!(!s.text.contains("inner") && !s.text.contains("raw"));
+    }
+
+    #[test]
+    fn scrub_keeps_lifetimes() {
+        let s = scrub("fn f<'a>(x: &'a str) {}");
+        assert!(s.text.contains("'a"), "{}", s.text);
+    }
+
+    #[test]
+    fn waiver_comment_is_extracted() {
+        let src = "let k = m.keys(); // emogi-lint: allow(unordered-iter) — keys feed a sort\n";
+        let s = scrub(src);
+        assert_eq!(s.waivers.len(), 1);
+        let w = &s.waivers[0];
+        assert_eq!(w.rule, "unordered-iter");
+        assert_eq!(w.kind, None);
+        assert_eq!(w.reason, "keys feed a sort");
+        assert_eq!(w.line, 1);
+        assert!(!w.standalone);
+    }
+
+    #[test]
+    fn standalone_waiver_with_kind() {
+        let src = "    // emogi-lint: allow(float-fold, canonical-order) - folded in CSR order\n    x += y;\n";
+        let s = scrub(src);
+        let w = &s.waivers[0];
+        assert!(w.standalone);
+        assert_eq!(w.kind.as_deref(), Some("canonical-order"));
+        assert_eq!(w.reason, "folded in CSR order");
+    }
+
+    #[test]
+    fn reasonless_waiver_is_kept_with_empty_reason() {
+        let s = scrub("// emogi-lint: allow(ambient-nondet)\n");
+        assert_eq!(s.waivers[0].reason, "");
+    }
+
+    #[test]
+    fn tokenizer_merges_two_char_ops() {
+        let toks = tokenize("a += b :: c;");
+        let texts: Vec<_> = toks.iter().map(|t| t.s).collect();
+        assert_eq!(texts, vec!["a", "+=", "b", "::", "c", ";"]);
+    }
+
+    #[test]
+    fn test_regions_span_the_mod_block() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let s = scrub(src);
+        let toks = tokenize(&s.text);
+        let r = test_regions(&toks);
+        assert_eq!(r, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn fn_bodies_are_found_with_lines() {
+        let src = "impl X {\n  fn step(&mut self) {\n    let y = 1;\n  }\n}\nfn free() { }\n";
+        let s = scrub(src);
+        let toks = tokenize(&s.text);
+        let fns = fn_bodies(&toks);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["step", "free"]);
+        assert_eq!(fns[0].start_line, 2);
+        assert_eq!(fns[0].end_line, 4);
+    }
+
+    #[test]
+    fn trait_method_without_body_is_skipped() {
+        let src = "trait T { fn sig(&self) -> bool; fn with(&self) {} }";
+        let toks_src = scrub(src);
+        let fns = fn_bodies(&tokenize(&toks_src.text));
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "with");
+    }
+}
