@@ -7,6 +7,7 @@ pub mod case_study;
 pub mod hybrid;
 pub mod matrix;
 pub mod misc;
+pub mod overlap;
 pub mod pagerank;
 pub mod prior;
 pub mod scaling;
@@ -47,6 +48,7 @@ pub const ALL_IDS: &[&str] = &[
     "ablations",
     "hybrid",
     "pagerank",
+    "overlap",
     "serve",
     "scaling",
 ];
@@ -76,6 +78,7 @@ pub fn run(id: &str, ctx: &Context) -> Vec<Table> {
         "ablations" => ablations::all(ctx),
         "hybrid" => vec![hybrid::hybrid(ctx)],
         "pagerank" => vec![pagerank::pagerank(ctx)],
+        "overlap" => vec![overlap::overlap(ctx)],
         "serve" => vec![serve::serve(ctx)],
         "scaling" => vec![scaling::scaling(ctx)],
         other => panic!("unknown experiment id {other:?} (known: {ALL_IDS:?})"),
@@ -103,6 +106,7 @@ pub fn run_all(ctx: &Context) -> Vec<Table> {
     out.extend(ablations::all(ctx));
     out.push(hybrid::hybrid(ctx));
     out.push(pagerank::pagerank(ctx));
+    out.push(overlap::overlap(ctx));
     out.push(serve::serve(ctx));
     out.push(scaling::scaling(ctx));
     out

@@ -30,7 +30,8 @@ use emogi_graph::{CsrGraph, VertexId};
 use emogi_runtime::exec::run_kernel;
 use emogi_runtime::machine::MachineConfig;
 use emogi_runtime::report::RunStats;
-use emogi_runtime::{Machine, TransferConfig, TransferManager};
+use emogi_runtime::{Machine, PrefetchConfig, Prefetcher, TransferConfig, TransferManager};
+use emogi_sim::pipeline::CopyEngineConfig;
 
 /// How to build an [`Engine`].
 #[derive(Debug, Clone)]
@@ -47,6 +48,14 @@ pub struct EngineConfig {
     /// Hybrid mode: stage hot edge-list regions into device memory via
     /// the runtime's transfer manager. Requires `ZeroCopyHost` placement.
     pub transfer: Option<TransferConfig>,
+    /// Pipelined execution: overlap hybrid staging DMA with kernel
+    /// compute by speculatively prefetching predicted-reuse regions onto
+    /// an asynchronous copy lane. Inert unless `transfer` is also set —
+    /// the knob can therefore stay on while sweeping access modes, and
+    /// only the hybrid mode pipelines. Outputs, iteration counts and
+    /// traffic counters are bit-identical to the synchronous path; only
+    /// elapsed time (and the [`RunStats::prefetch`] counters) change.
+    pub pipeline: Option<PrefetchConfig>,
 }
 
 /// Pre-redesign name of [`EngineConfig`], kept for downstream code.
@@ -61,6 +70,7 @@ impl EngineConfig {
             placement: EdgePlacement::ZeroCopyHost,
             elem_bytes: 8,
             transfer: None,
+            pipeline: None,
         }
     }
 
@@ -73,6 +83,7 @@ impl EngineConfig {
             placement: EdgePlacement::Uvm,
             elem_bytes: 8,
             transfer: None,
+            pipeline: None,
         }
     }
 
@@ -81,6 +92,13 @@ impl EngineConfig {
     /// memory and the rest read zero-copy.
     pub fn hybrid_v100() -> Self {
         Self::emogi_v100().with_mode(AccessMode::Hybrid)
+    }
+
+    /// Pipelined hybrid transport on the V100 platform:
+    /// [`hybrid_v100`](Self::hybrid_v100) with staging DMA overlapped
+    /// behind kernel compute via the default prefetcher.
+    pub fn pipelined_v100() -> Self {
+        Self::hybrid_v100().with_pipeline(PrefetchConfig::default())
     }
 
     /// Replace only the kernel-level access strategy.
@@ -107,6 +125,20 @@ impl EngineConfig {
     pub fn with_transfer(mut self, transfer: TransferConfig) -> Self {
         self.transfer = Some(transfer);
         self
+    }
+
+    /// Enable pipelined execution with `pipeline` (see
+    /// [`EngineConfig::pipeline`]; inert unless a transfer manager is
+    /// configured too). [`with_mode`](Self::with_mode) does not clear
+    /// this knob, so it composes with mode sweeps.
+    pub fn with_pipeline(mut self, pipeline: PrefetchConfig) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// Enable pipelined execution with the default prefetcher.
+    pub fn pipelined(self) -> Self {
+        self.with_pipeline(PrefetchConfig::default())
     }
 
     /// Replace the simulated platform.
@@ -140,6 +172,29 @@ pub(crate) fn build_transfer(
         );
         TransferManager::new(machine, graph.edge_list_bytes(elem_bytes), tcfg)
     })
+}
+
+/// Build the speculative prefetcher for a pipelined engine, if both the
+/// pipeline knob and a transfer manager are present (the knob is inert
+/// without one — there is nothing to stage asynchronously). The copy
+/// lane defaults to the machine's PCIe cost model so hidden-latency
+/// estimates match the synchronous DMA path. Shared by the
+/// single-device and sharded engines.
+pub(crate) fn build_prefetcher(
+    machine: &Machine,
+    transfer: Option<&TransferManager>,
+    cfg: Option<PrefetchConfig>,
+) -> Option<Prefetcher> {
+    match (transfer, cfg) {
+        (Some(tm), Some(pcfg)) => {
+            let copy = pcfg
+                .copy
+                .clone()
+                .unwrap_or_else(|| CopyEngineConfig::from_pcie(&machine.cfg.pcie));
+            Some(Prefetcher::new(tm.num_regions(), pcfg, copy))
+        }
+        _ => None,
+    }
 }
 
 /// Place the auxiliary 4-byte-per-edge data array in the edge list's
@@ -235,6 +290,9 @@ pub struct Engine<'g> {
     placement: EdgePlacement,
     /// Hybrid mode: the per-region zero-copy / DMA transfer manager.
     transfer: Option<TransferManager>,
+    /// Pipelined execution: the speculative prefetcher feeding the
+    /// asynchronous copy lane (present only when `transfer` is too).
+    prefetcher: Option<Prefetcher>,
     /// Device status arrays for batched multi-query execution, one per
     /// query slot, allocated on first use and reused across batches.
     batch_status: Vec<u64>,
@@ -249,6 +307,7 @@ impl<'g> Engine<'g> {
         let mut machine = Machine::new(cfg.machine);
         let layout = GraphLayout::place(&mut machine, graph, cfg.elem_bytes, cfg.placement, false);
         let transfer = build_transfer(&machine, graph, cfg.elem_bytes, cfg.placement, cfg.transfer);
+        let prefetcher = build_prefetcher(&machine, transfer.as_ref(), cfg.pipeline);
         Self {
             machine,
             graph,
@@ -256,6 +315,7 @@ impl<'g> Engine<'g> {
             strategy: cfg.strategy,
             placement: cfg.placement,
             transfer,
+            prefetcher,
             batch_status: Vec::new(),
         }
     }
@@ -313,23 +373,36 @@ impl<'g> Engine<'g> {
         };
         let elem = self.layout.elem_bytes;
         let graph = self.graph;
+        let pf = self.prefetcher.as_mut();
         let changed = match pattern {
-            AccessPattern::FrontierDriven => tm.plan_iteration(
-                &mut self.machine,
-                frontier
+            AccessPattern::FrontierDriven => {
+                let ranges = frontier
                     .iter()
-                    .map(|&v| (graph.neighbor_start(v) * elem, graph.neighbor_end(v) * elem)),
-            ),
-            AccessPattern::FullSweep => tm.plan_iteration(
-                &mut self.machine,
-                std::iter::once((0, graph.edge_list_bytes(elem))),
-            ),
+                    .map(|&v| (graph.neighbor_start(v) * elem, graph.neighbor_end(v) * elem));
+                match pf {
+                    Some(p) => tm.plan_iteration_pipelined(&mut self.machine, ranges, p),
+                    None => tm.plan_iteration(&mut self.machine, ranges),
+                }
+            }
+            AccessPattern::FullSweep => {
+                let ranges = std::iter::once((0, graph.edge_list_bytes(elem)));
+                match pf {
+                    Some(p) => tm.plan_iteration_pipelined(&mut self.machine, ranges, p),
+                    None => tm.plan_iteration(&mut self.machine, ranges),
+                }
+            }
         };
         // Refresh the layout's table only when it changed: a run that
         // never stages keeps `staged_edges == None` and the address path
         // free of region lookups.
         if changed {
             self.layout.staged_edges = Some(tm.region_map());
+        }
+        // Double-buffering: feed the asynchronous lane with next
+        // iteration's predicted regions so their copies overlap the
+        // kernel launched right after this planning round.
+        if let Some(p) = self.prefetcher.as_mut() {
+            tm.prefetch_for_next(self.machine.now, p);
         }
     }
 
@@ -350,6 +423,7 @@ impl<'g> Engine<'g> {
         }
         let snap = self.machine.snapshot();
         let transfer_base = self.transfer.as_ref().map(|t| t.stats);
+        let prefetch_base = self.prefetcher.as_ref().map(|p| p.stats);
         let pattern = program.pattern();
         let mut launches = 0u64;
         let mut work = DeviceWork::default();
@@ -407,6 +481,9 @@ impl<'g> Engine<'g> {
         let mut stats = self.machine.finish_run(&snap, launches);
         if let (Some(tm), Some(base)) = (&self.transfer, transfer_base) {
             stats.transfer = tm.stats - base;
+        }
+        if let (Some(p), Some(base)) = (&self.prefetcher, prefetch_base) {
+            stats.prefetch = p.stats - base;
         }
         Run {
             output: program.finish(),
@@ -497,6 +574,7 @@ impl<'g> Engine<'g> {
 
         let batch_snap = self.machine.snapshot();
         let batch_transfer_base = self.transfer.as_ref().map(|t| t.stats);
+        let batch_prefetch_base = self.prefetcher.as_ref().map(|p| p.stats);
         let mut runs: Vec<Run<P::Output>> = Vec::with_capacity(programs.len());
         let mut total_launches = 0u64;
         if slots == 0 {
@@ -516,6 +594,9 @@ impl<'g> Engine<'g> {
         let mut stats = self.machine.finish_run(&batch_snap, total_launches);
         if let (Some(tm), Some(base)) = (&self.transfer, batch_transfer_base) {
             stats.transfer = tm.stats - base;
+        }
+        if let (Some(p), Some(base)) = (&self.prefetcher, batch_prefetch_base) {
+            stats.prefetch = p.stats - base;
         }
         BatchRun { runs, stats }
     }
@@ -559,6 +640,7 @@ impl<'g> Engine<'g> {
             let active: Vec<usize> = (0..nq).filter(|&q| !frontiers[q].is_empty()).collect();
             let iter_snap = self.machine.snapshot();
             let iter_transfer_base = self.transfer.as_ref().map(|t| t.stats);
+            let iter_prefetch_base = self.prefetcher.as_ref().map(|p| p.stats);
             // The active-vertex scan runs per query (each query's status
             // array is scanned for its own frontier), exactly as many
             // times as the sequential runs would pay it — batching saves
@@ -588,6 +670,9 @@ impl<'g> Engine<'g> {
             let mut iter_stats = self.machine.finish_run(&iter_snap, 1);
             if let (Some(tm), Some(base)) = (&self.transfer, iter_transfer_base) {
                 iter_stats.transfer = tm.stats - base;
+            }
+            if let (Some(p), Some(base)) = (&self.prefetcher, iter_prefetch_base) {
+                iter_stats.prefetch = p.stats - base;
             }
             for &q in &active {
                 per_stats[q].accumulate(&iter_stats);

@@ -49,7 +49,7 @@ use emogi_runtime::exec::run_kernel;
 use emogi_runtime::group::{DeviceGroup, DeviceGroupConfig};
 use emogi_runtime::machine::MachineConfig;
 use emogi_runtime::report::RunStats;
-use emogi_runtime::{TransferManager, TransferStats};
+use emogi_runtime::{PrefetchStats, Prefetcher, TransferManager, TransferStats};
 use emogi_sim::interconnect::{LinkStats, PeerLinkConfig};
 
 /// Bytes per frontier-update record exchanged between devices: a 4-byte
@@ -112,6 +112,14 @@ impl ShardedConfig {
     /// Select a full access mode on the per-device engines.
     pub fn with_mode(mut self, mode: AccessMode) -> Self {
         self.engine = self.engine.with_mode(mode);
+        self
+    }
+
+    /// Enable pipelined (overlapped DMA/kernel) execution on every
+    /// device, with default prefetch settings. Inert unless the
+    /// per-device engines run in hybrid mode.
+    pub fn pipelined(mut self) -> Self {
+        self.engine = self.engine.pipelined();
         self
     }
 
@@ -190,6 +198,9 @@ pub struct ShardedEngine<'g> {
     layouts: Vec<GraphLayout>,
     /// Per-device hybrid transfer managers (hybrid mode only).
     transfers: Vec<Option<TransferManager>>,
+    /// Per-device speculative prefetchers (pipelined hybrid mode only);
+    /// each device overlaps its own copy lane with its own kernels.
+    prefetchers: Vec<Option<Prefetcher>>,
     partition: VertexPartition,
     strategy: AccessStrategy,
     placement: EdgePlacement,
@@ -208,6 +219,7 @@ impl<'g> ShardedEngine<'g> {
         });
         let mut layouts = Vec::with_capacity(cfg.devices);
         let mut transfers = Vec::with_capacity(cfg.devices);
+        let mut prefetchers = Vec::with_capacity(cfg.devices);
         for m in &mut group.machines {
             let layout =
                 GraphLayout::place(m, graph, cfg.engine.elem_bytes, cfg.engine.placement, false);
@@ -218,14 +230,18 @@ impl<'g> ShardedEngine<'g> {
                 cfg.engine.placement,
                 cfg.engine.transfer.clone(),
             );
+            let prefetcher =
+                crate::engine::build_prefetcher(m, transfer.as_ref(), cfg.engine.pipeline.clone());
             layouts.push(layout);
             transfers.push(transfer);
+            prefetchers.push(prefetcher);
         }
         Self {
             group,
             graph,
             layouts,
             transfers,
+            prefetchers,
             partition,
             strategy: cfg.engine.strategy,
             placement: cfg.engine.placement,
@@ -274,12 +290,20 @@ impl<'g> ShardedEngine<'g> {
             return;
         };
         let elem = self.layouts[d].elem_bytes;
-        let changed = tm.plan_iteration(
-            &mut self.group.machines[d],
-            items.iter().map(|&(_, lo, hi)| (lo * elem, hi * elem)),
-        );
+        let machine = &mut self.group.machines[d];
+        let ranges = items.iter().map(|&(_, lo, hi)| (lo * elem, hi * elem));
+        let changed = match self.prefetchers[d].as_mut() {
+            Some(p) => tm.plan_iteration_pipelined(machine, ranges, p),
+            None => tm.plan_iteration(machine, ranges),
+        };
         if changed {
             self.layouts[d].staged_edges = Some(tm.region_map());
+        }
+        // Double-buffering, per device: the device's copy lane streams
+        // next iteration's predicted regions while this iteration's
+        // kernel computes.
+        if let Some(p) = self.prefetchers[d].as_mut() {
+            tm.prefetch_for_next(self.group.machines[d].now, p);
         }
     }
 
@@ -299,9 +323,18 @@ impl<'g> ShardedEngine<'g> {
                 self.graph.neighbor_end(r.end - 1) * elem,
             )
         };
-        let changed = tm.plan_iteration(&mut self.group.machines[d], std::iter::once(range));
+        let machine = &mut self.group.machines[d];
+        let ranges = std::iter::once(range);
+        let changed = match self.prefetchers[d].as_mut() {
+            Some(p) => tm.plan_iteration_pipelined(machine, ranges, p),
+            None => tm.plan_iteration(machine, ranges),
+        };
         if changed {
             self.layouts[d].staged_edges = Some(tm.region_map());
+        }
+        // Double-buffering, per device (see `plan_transfers_slices`).
+        if let Some(p) = self.prefetchers[d].as_mut() {
+            tm.prefetch_for_next(self.group.machines[d].now, p);
         }
     }
 
@@ -373,6 +406,11 @@ impl<'g> ShardedEngine<'g> {
             .transfers
             .iter()
             .map(|t| t.as_ref().map(|t| t.stats))
+            .collect();
+        let prefetch_bases: Vec<Option<PrefetchStats>> = self
+            .prefetchers
+            .iter()
+            .map(|p| p.as_ref().map(|p| p.stats))
             .collect();
         let exchange_base = self.group.interconnect.totals();
         let pattern = program.pattern();
@@ -497,6 +535,9 @@ impl<'g> ShardedEngine<'g> {
         for (d, stats) in per_device.iter_mut().enumerate() {
             if let (Some(tm), Some(base)) = (&self.transfers[d], transfer_bases[d]) {
                 stats.transfer = tm.stats - base;
+            }
+            if let (Some(pf), Some(base)) = (&self.prefetchers[d], prefetch_bases[d]) {
+                stats.prefetch = pf.stats - base;
             }
         }
         let mut stats = RunStats::aggregate_concurrent(&per_device);

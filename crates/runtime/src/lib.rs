@@ -16,6 +16,8 @@
 //!   GPU plus the inter-device exchange interconnect;
 //! * [`exec`] — the discrete-event executor and the [`Kernel`] trait;
 //! * [`transfer`] — the hybrid zero-copy / DMA transfer manager;
+//! * [`prefetch`] — the speculative prefetcher feeding the pipelined
+//!   (overlapped DMA/kernel) staging path;
 //! * [`report`] — per-kernel and per-run statistics;
 //! * [`util`] — small fast-hash map used on the hot path.
 
@@ -26,6 +28,7 @@ pub mod alloc;
 pub mod exec;
 pub mod group;
 pub mod machine;
+pub mod prefetch;
 pub mod report;
 pub mod transfer;
 pub mod util;
@@ -34,5 +37,6 @@ pub use alloc::{AddressSpaces, DEVICE_BASE, HOST_BASE, MANAGED_BASE};
 pub use exec::{Kernel, StepOutcome};
 pub use group::{DeviceGroup, DeviceGroupConfig};
 pub use machine::{Machine, MachineConfig};
+pub use prefetch::{PrefetchConfig, PrefetchStats, Prefetcher};
 pub use report::{KernelReport, RunStats};
 pub use transfer::{RegionMap, TransferConfig, TransferManager, TransferStats};

@@ -180,6 +180,26 @@ impl Machine {
         );
     }
 
+    /// Retro-account an asynchronous staging copy the pipelined planner
+    /// has just adopted: the transfer's *time* was paid on the prefetch
+    /// copy lane while a kernel computed, but its *traffic* must appear
+    /// in every counter exactly as the synchronous batched copy's would —
+    /// DMA bytes, monitor DMA/wire bytes (per-TLP completion headers
+    /// included), host-DRAM read span and HBM write span. Deliberately
+    /// does not advance the clock or occupy any busy-until lane; the
+    /// caller applies any residual in-flight stall separately.
+    pub fn account_async_stage(&mut self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.dma.bytes_to_device += bytes;
+        let chunks = bytes.div_ceil(u64::from(self.cfg.pcie.dma_payload_bytes));
+        let wire = bytes + chunks * u64::from(self.cfg.pcie.completion_header_bytes);
+        self.monitor.on_dma(self.now, bytes, wire);
+        self.host_dram.account_bulk_read(bytes);
+        self.hbm.account_bulk_write(bytes);
+    }
+
     /// Synchronous `cudaMemcpy` device→host; advances the clock.
     pub fn memcpy_to_host(&mut self, bytes: u64) {
         self.now = self.dma.copy_to_host(
@@ -240,9 +260,11 @@ impl Machine {
             page_faults: faults - base.faults,
             pages_migrated: migrated - base.migrated,
             host_dram_bytes: self.host_dram.bytes_read - base.dram_read,
-            // The transfer manager lives outside the machine; whoever owns
-            // one (the engine) overwrites this with the per-run diff.
+            // The transfer manager and prefetcher live outside the
+            // machine; whoever owns them (the engine) overwrites these
+            // with the per-run diffs.
             transfer: crate::transfer::TransferStats::default(),
+            prefetch: crate::prefetch::PrefetchStats::default(),
             shared_fetch: false,
         }
     }

@@ -1,5 +1,6 @@
 //! Per-kernel and per-run statistics.
 
+use crate::prefetch::PrefetchStats;
 use crate::transfer::TransferStats;
 use emogi_sim::monitor::SizeHistogram;
 use emogi_sim::time::Time;
@@ -62,6 +63,10 @@ pub struct RunStats {
     /// Hybrid transfer-manager counters for this run; all-zero for runs
     /// that never stage (pure zero-copy, UVM).
     pub transfer: TransferStats,
+    /// Pipelined-execution prefetch counters for this run (speculative
+    /// bytes issued, adoption hits, mispredicted waste, residual stall
+    /// and hidden staging latency); all-zero for synchronous runs.
+    pub prefetch: PrefetchStats,
     /// `true` when these counters describe traffic *shared* with other
     /// queries of a batched multi-query execution: the merged edge fetch
     /// is accounted once globally (in the batch-level stats) and every
@@ -96,6 +101,7 @@ impl RunStats {
         self.pages_migrated += iteration.pages_migrated;
         self.host_dram_bytes += iteration.host_dram_bytes;
         self.transfer += iteration.transfer;
+        self.prefetch += iteration.prefetch;
         self.avg_pcie_gbps = if self.elapsed_ns == 0 {
             0.0
         } else {
@@ -121,6 +127,7 @@ impl RunStats {
             total.pages_migrated += s.pages_migrated;
             total.host_dram_bytes += s.host_dram_bytes;
             total.transfer += s.transfer;
+            total.prefetch += s.prefetch;
         }
         total.avg_pcie_gbps = if total.elapsed_ns == 0 {
             0.0

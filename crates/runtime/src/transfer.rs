@@ -19,8 +19,20 @@
 //! Nothing is ever un-staged: the simulated workloads only grow hotter
 //! with iteration count, and a bounded pool plus fallback keeps the model
 //! honest without an eviction clock.
+//!
+//! The **pipelined path** ([`plan_pipelined`](TransferManager::plan_pipelined),
+//! [`prefetch_for_next`](TransferManager::prefetch_for_next)) pairs the
+//! manager with a [`Prefetcher`]: after each
+//! round it speculatively stages predicted-reuse regions onto an
+//! asynchronous copy lane, and a later round that decides to stage such a
+//! region *adopts* the in-flight copy instead of paying a demand copy on
+//! the critical path. Decisions, allocation order and traffic counters
+//! stay bit-identical to the synchronous path; only the clock (and the
+//! new prefetch counters) differ.
 
 use crate::machine::Machine;
+use crate::prefetch::Prefetcher;
+use emogi_sim::time::Time;
 use emogi_uvm::{TransferDecision, TransferPolicy, TransferPolicyConfig};
 
 /// Sentinel in a [`RegionMap`] table: region not staged.
@@ -135,7 +147,14 @@ pub struct TransferManager {
     upcoming: Vec<u64>,
     /// Scratch: regions with nonzero `upcoming`, in first-touch order.
     touched: Vec<u32>,
+    /// The previous round's `(region, upcoming bytes)` pairs, sorted by
+    /// region — the prefetcher's prediction input.
+    last_touched: Vec<(u32, u64)>,
     pool_left: u64,
+    /// Pool bytes currently charged to live speculative stages. Invariant
+    /// between rounds: `pool_left + spec_charged` equals the pool a
+    /// pipeline-free manager would hold (see [`reserve`](Self::reserve)).
+    spec_charged: u64,
     /// Monotonically growing lifetime counters; snapshot and diff for
     /// per-run reporting.
     pub stats: TransferStats,
@@ -163,7 +182,9 @@ impl TransferManager {
             table: vec![UNMAPPED; regions],
             upcoming: vec![0; regions],
             touched: Vec::new(),
+            last_touched: Vec::new(),
             pool_left,
+            spec_charged: 0,
             stats: TransferStats::default(),
         }
     }
@@ -188,8 +209,26 @@ impl TransferManager {
     /// status arrays): the staging pool shrinks accordingly, so the
     /// combined usage never exceeds the device capacity. Saturates at
     /// zero — staging then simply falls back to zero-copy.
+    ///
+    /// Accounting invariant: at every reservation site, `pool_left +
+    /// spec_charged` is the budget not yet consumed by *demand*
+    /// allocations or permanent reservations — exactly what a
+    /// pipeline-free manager holds in `pool_left`. A speculative stage
+    /// charges the pool once when issued and is credited back exactly
+    /// once: either at adoption (where the demand allocation takes over
+    /// the charge) or at eviction before first use. The reservation
+    /// therefore deducts from the *combined* budget — taking free pool
+    /// first, then speculative headroom — so a speculative stage that is
+    /// later evicted never stays charged against the budget (the
+    /// double-count this invariant exists to prevent). Shortfalls pushed
+    /// onto `spec_charged` are realized as deterministic evictions at the
+    /// next planning round's recharge pass, which re-charges survivors in
+    /// issue order and evicts whatever no longer fits.
     pub fn reserve(&mut self, bytes: u64) {
-        self.pool_left = self.pool_left.saturating_sub(bytes.div_ceil(128) * 128);
+        let need = bytes.div_ceil(128) * 128;
+        let combined = (self.pool_left + self.spec_charged).saturating_sub(need);
+        self.spec_charged = self.spec_charged.min(combined);
+        self.pool_left = combined - self.spec_charged;
     }
 
     /// Whether `region` has been staged into device memory.
@@ -237,11 +276,43 @@ impl TransferManager {
     /// upcoming-iteration scratch. Returns whether any region was staged
     /// this round (i.e. whether the translation table changed).
     pub fn plan(&mut self, machine: &mut Machine) -> bool {
+        self.plan_with(machine, None)
+    }
+
+    /// [`plan`](Self::plan) with a [`Prefetcher`] in the loop: staging
+    /// decisions, allocation order and traffic counters are identical,
+    /// but a staged region whose speculative copy is already on the
+    /// asynchronous lane is *adopted* — its bytes are retro-accounted
+    /// instead of re-copied, and the clock waits only if the copy is
+    /// still in flight. Call [`prefetch_for_next`](Self::prefetch_for_next)
+    /// after each round to keep the lane fed.
+    pub fn plan_pipelined(&mut self, machine: &mut Machine, prefetcher: &mut Prefetcher) -> bool {
+        self.plan_with(machine, Some(prefetcher))
+    }
+
+    fn plan_with(&mut self, machine: &mut Machine, mut pf: Option<&mut Prefetcher>) -> bool {
         // First-touch order follows the frontier, which is sorted by the
         // traversal drivers — sort to be robust against unsorted callers
         // (determinism, and allocation order independent of touch order).
         self.touched.sort_unstable();
+        // Settle: credit every speculative charge back so the decision
+        // loop below sees exactly the pool a synchronous manager would —
+        // the stage-vs-fallback outcomes must be bit-identical. Survivors
+        // are re-charged after the loop.
+        if pf.is_some() {
+            self.pool_left += self.spec_charged;
+            self.spec_charged = 0;
+            // Record the touch set for the predictor before the loop
+            // consumes the per-region byte counts.
+            self.last_touched.clear();
+            for &r in &self.touched {
+                self.last_touched.push((r, self.upcoming[r as usize]));
+            }
+        }
         let mut copy_bytes = 0u64;
+        let mut adopted_bytes = 0u64;
+        let mut staged_count = 0u64;
+        let mut stall_until: Time = 0;
         for i in 0..self.touched.len() {
             let r = self.touched[i] as usize;
             let bytes = std::mem::take(&mut self.upcoming[r]);
@@ -258,9 +329,19 @@ impl TransferManager {
                 TransferDecision::Stage if self.pool_left >= need => {
                     self.table[r] = machine.alloc_device(len);
                     self.pool_left -= need;
-                    copy_bytes += len;
                     self.stats.staged_regions += 1;
                     self.stats.staged_bytes += len;
+                    staged_count += 1;
+                    // A speculative copy of this region is already on (or
+                    // past) the async lane: adopt it instead of paying a
+                    // demand copy.
+                    match pf.as_deref_mut().and_then(|p| p.adopt(r as u32)) {
+                        Some(done_at) => {
+                            adopted_bytes += len;
+                            stall_until = stall_until.max(done_at);
+                        }
+                        None => copy_bytes += len,
+                    }
                 }
                 TransferDecision::Stage => {
                     self.stats.pool_fallbacks += 1;
@@ -272,11 +353,73 @@ impl TransferManager {
             }
         }
         self.touched.clear();
-        if copy_bytes > 0 {
+        if staged_count > 0 {
             self.stats.staging_rounds += 1;
+        }
+        if copy_bytes > 0 {
             machine.memcpy_to_device(copy_bytes);
         }
-        copy_bytes > 0
+        if let Some(p) = pf {
+            if adopted_bytes > 0 {
+                // The adopted bytes crossed the link on the speculative
+                // lane; charge them to the traffic counters exactly as
+                // the synchronous batched copy would have (at most one
+                // partial region exists, so the alignment rounding splits
+                // exactly between the demand and adopted shares).
+                machine.account_async_stage(adopted_bytes);
+                let hidden_estimate = p.sync_cost_delta(copy_bytes, adopted_bytes);
+                let wait = stall_until.saturating_sub(machine.now);
+                if wait > 0 {
+                    p.stats.stall_ns += wait;
+                    machine.now = stall_until;
+                }
+                p.stats.hidden_ns += hidden_estimate.saturating_sub(wait);
+            }
+            // Re-charge surviving speculative stages from what the
+            // demand decisions left over; evict the rest.
+            self.spec_charged = p.recharge(&mut self.pool_left);
+        }
+        staged_count > 0
+    }
+
+    /// Feed the asynchronous copy lane for the next iteration: rank
+    /// not-yet-staged regions by predicted reuse (a pure function of this
+    /// round's planner state) and issue speculative stages into the
+    /// prefetcher's bounded pool slice. Call right after
+    /// [`plan_pipelined`](Self::plan_pipelined), at iteration start, so
+    /// the copies overlap the kernel that follows.
+    pub fn prefetch_for_next(&mut self, at: Time, pf: &mut Prefetcher) {
+        pf.observe_round(at, &self.last_touched);
+        let wanted = pf.rank_candidates(
+            &self.policy,
+            &self.table,
+            &self.last_touched,
+            self.region_bytes,
+            self.len_bytes,
+        );
+        for r in wanted {
+            let len = self.region_len(r as usize);
+            let charge = len.div_ceil(128) * 128;
+            // Make room in the bounded slice: evict the oldest
+            // speculative stages (stale predictions), crediting their
+            // pool charges back.
+            while pf.slice_used() + charge > pf.slice_bytes() {
+                let Some(freed) = pf.evict_oldest() else {
+                    break;
+                };
+                self.spec_charged -= freed;
+                self.pool_left += freed;
+            }
+            if pf.slice_used() + charge > pf.slice_bytes() {
+                break; // a region larger than the whole slice
+            }
+            if self.pool_left < charge {
+                break; // speculate only into real pool slack
+            }
+            self.pool_left -= charge;
+            self.spec_charged += charge;
+            pf.issue(r, len, charge, at);
+        }
     }
 
     /// One-call planning hook for a kernel launch: note every byte range
@@ -293,6 +436,20 @@ impl TransferManager {
             self.note_upcoming(lo, hi);
         }
         self.plan(machine)
+    }
+
+    /// [`plan_iteration`](Self::plan_iteration) over the pipelined path:
+    /// identical noting, then [`plan_pipelined`](Self::plan_pipelined).
+    pub fn plan_iteration_pipelined(
+        &mut self,
+        machine: &mut Machine,
+        ranges: impl IntoIterator<Item = (u64, u64)>,
+        prefetcher: &mut Prefetcher,
+    ) -> bool {
+        for (lo, hi) in ranges {
+            self.note_upcoming(lo, hi);
+        }
+        self.plan_pipelined(machine, prefetcher)
     }
 
     /// Snapshot of the translation table for the kernel address path.
@@ -486,5 +643,144 @@ mod tests {
     fn non_power_of_two_region_rejected() {
         let m = machine();
         let _ = TransferManager::new(&m, 1 << 20, cfg(48 << 10, None));
+    }
+
+    // ----------------------------------------------- pipelined path
+
+    use crate::prefetch::{PrefetchConfig, Prefetcher};
+    use emogi_sim::pipeline::CopyEngineConfig;
+
+    fn prefetcher(m: &Machine, tm: &TransferManager) -> Prefetcher {
+        Prefetcher::new(
+            tm.num_regions(),
+            PrefetchConfig::default(),
+            CopyEngineConfig::from_pcie(&m.cfg.pcie),
+        )
+    }
+
+    /// The sparse-accumulation scenario, pipelined: the prefetcher spots
+    /// region 0 once its score crosses the margin, speculates it onto the
+    /// lane, and the round that finally stages it adopts the copy — all
+    /// decision and traffic counters equal to the synchronous twin.
+    #[test]
+    fn adopted_prefetch_skips_the_demand_copy_but_counts_identical_traffic() {
+        let mut ms = machine();
+        let mut tms = TransferManager::new(&ms, 64 << 10, cfg(64 << 10, None));
+        let mut mp = machine();
+        let mut tmp = TransferManager::new(&mp, 64 << 10, cfg(64 << 10, None));
+        let mut pf = prefetcher(&mp, &tmp);
+
+        for _ in 0..4 {
+            tms.note_upcoming(0, 26 << 10);
+            tms.plan(&mut ms);
+            tmp.note_upcoming(0, 26 << 10);
+            tmp.plan_pipelined(&mut mp, &mut pf);
+            tmp.prefetch_for_next(mp.now, &mut pf);
+        }
+        assert!(tms.is_staged(0) && tmp.is_staged(0));
+        assert_eq!(tmp.stats, tms.stats, "decision counters identical");
+        assert_eq!(pf.stats.prefetched_regions, 1);
+        assert_eq!(pf.stats.hit_regions, 1, "the speculative copy was adopted");
+        assert_eq!(pf.stats.hit_bytes, 64 << 10);
+        assert_eq!(pf.stats.wasted_bytes, 0);
+        // Traffic counters: the adopted copy is retro-accounted so the
+        // pipelined machine reports byte-identical DMA/DRAM/monitor
+        // traffic to the synchronous one.
+        assert_eq!(mp.dma.bytes_to_device, ms.dma.bytes_to_device);
+        assert_eq!(mp.monitor.dma_bytes, ms.monitor.dma_bytes);
+        assert_eq!(mp.monitor.wire_bytes, ms.monitor.wire_bytes);
+        assert_eq!(mp.host_dram.bytes_read, ms.host_dram.bytes_read);
+        assert_eq!(mp.hbm.bytes_written, ms.hbm.bytes_written);
+        // Pool accounting settles back to the synchronous value once the
+        // speculative charge is consumed by the adoption.
+        assert_eq!(tmp.pool_left(), tms.pool_left());
+    }
+
+    /// Speculative charges never change staging decisions: with a pool of
+    /// exactly one region, a speculative stage of the *wrong* region is
+    /// settled back before the decision round, so the dense region still
+    /// wins the pool and the misprediction only costs wasted bytes.
+    #[test]
+    fn speculative_charge_never_steals_the_pool_from_demand_staging() {
+        let mut m = machine();
+        let mut tm = TransferManager::new(&m, 128 << 10, cfg(64 << 10, Some(64 << 10)));
+        let mut pf = prefetcher(&m, &tm);
+        // Make region 1 look hot so the prefetcher speculates it.
+        for _ in 0..3 {
+            tm.note_upcoming(64 << 10, 90 << 10);
+            tm.plan_pipelined(&mut m, &mut pf);
+            tm.prefetch_for_next(m.now, &mut pf);
+        }
+        assert!(pf.is_speculative(1), "region 1 speculated");
+        assert_eq!(tm.pool_left(), 0, "slack fully charged to the speculation");
+        // Now region 0 arrives fully dense: it must stage exactly as it
+        // would synchronously; the speculation is evicted, not the stage.
+        tm.note_upcoming(0, 64 << 10);
+        assert!(tm.plan_pipelined(&mut m, &mut pf));
+        assert!(tm.is_staged(0));
+        assert!(!pf.is_speculative(1), "speculation evicted at recharge");
+        assert_eq!(pf.stats.wasted_bytes, 64 << 10);
+        assert_eq!(tm.pool_left(), 0);
+    }
+
+    /// The `reserve` double-count fix: a permanent reservation consumes
+    /// speculative headroom, and the evicted speculation's charge must
+    /// not resurrect pool budget at the next settle.
+    #[test]
+    fn reserve_consumes_speculative_headroom_without_double_counting() {
+        let mut m = machine();
+        let mut tm = TransferManager::new(&m, 128 << 10, cfg(64 << 10, Some(64 << 10)));
+        let mut pf = prefetcher(&m, &tm);
+        for _ in 0..3 {
+            tm.note_upcoming(64 << 10, 90 << 10);
+            tm.plan_pipelined(&mut m, &mut pf);
+            tm.prefetch_for_next(m.now, &mut pf);
+        }
+        assert!(pf.is_speculative(1));
+        assert_eq!(tm.pool_left(), 0);
+        assert_eq!(tm.spec_charged, 64 << 10);
+        // Reserve the whole pool: the speculative charge is the only
+        // headroom left, so it must be consumed — not just `pool_left`
+        // saturated to zero with the charge still outstanding.
+        tm.reserve(64 << 10);
+        assert_eq!(tm.spec_charged, 0);
+        assert_eq!(tm.pool_left(), 0);
+        // The next round settles: the speculation is evicted (its budget
+        // is gone) and — the regression this guards — no pool bytes
+        // reappear from the stale charge.
+        tm.note_upcoming(0, 64 << 10);
+        tm.plan_pipelined(&mut m, &mut pf);
+        assert!(!tm.is_staged(0), "pool is fully reserved");
+        assert!(!pf.is_speculative(1), "orphaned speculation evicted");
+        assert_eq!(tm.pool_left(), 0, "no budget resurrected");
+        assert_eq!(pf.stats.wasted_bytes, 64 << 10);
+    }
+
+    /// With no prefetcher in the loop the pipelined entry points are the
+    /// synchronous ones (same decisions, same clock).
+    #[test]
+    fn plan_pipelined_without_speculation_matches_plan_exactly() {
+        let mut ms = machine();
+        let mut tms = TransferManager::new(&ms, 256 << 10, cfg(64 << 10, None));
+        let mut mp = machine();
+        let mut tmp = TransferManager::new(&mp, 256 << 10, cfg(64 << 10, None));
+        // A prefetcher with a zero-byte slice can never issue.
+        let mut pf = Prefetcher::new(
+            tmp.num_regions(),
+            PrefetchConfig {
+                slice_bytes: 0,
+                ..PrefetchConfig::default()
+            },
+            CopyEngineConfig::from_pcie(&mp.cfg.pcie),
+        );
+        for _ in 0..3 {
+            let a = tms.plan_iteration(&mut ms, [(0u64, 200u64 << 10)]);
+            let b = tmp.plan_iteration_pipelined(&mut mp, [(0u64, 200u64 << 10)], &mut pf);
+            tmp.prefetch_for_next(mp.now, &mut pf);
+            assert_eq!(a, b);
+        }
+        assert_eq!(tmp.stats, tms.stats);
+        assert_eq!(mp.now, ms.now, "clocks identical without speculation");
+        assert_eq!(pf.stats, crate::prefetch::PrefetchStats::default());
     }
 }

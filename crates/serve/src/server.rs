@@ -68,6 +68,14 @@ impl ServerStats {
 /// bit-identical — outputs and iteration counts — to running the same
 /// queries one at a time.
 ///
+/// Pipelined execution is configured on the engine, not the server:
+/// wrap an engine loaded with
+/// [`EngineConfig::pipelined`](emogi_core::EngineConfig::pipelined) (or
+/// the `pipelined_v100` preset) and every batch the server executes
+/// overlaps its DMA staging with kernel compute. Serving results stay
+/// bit-identical to a synchronous server's; only the wall clock and the
+/// [`prefetch`](emogi_runtime::RunStats::prefetch) counters differ.
+///
 /// ```
 /// use emogi_core::{Engine, EngineConfig};
 /// use emogi_graph::{algo, generators};
@@ -333,6 +341,31 @@ mod tests {
             !s.take(c).unwrap().stats().shared_fetch,
             "a batch of one shares its fetches with nobody"
         );
+    }
+
+    #[test]
+    fn a_pipelined_engine_serves_bit_identically_to_a_synchronous_one() {
+        let g = generators::uniform_random(400, 8, 13);
+        let mut results: Vec<Vec<QueryResult>> = Vec::new();
+        for cfg in [EngineConfig::hybrid_v100(), EngineConfig::pipelined_v100()] {
+            let mut s = QueryServer::new(ServerConfig::default(), Engine::load(cfg, &g));
+            let ids: Vec<_> = [0u32, 7, 42, 301]
+                .iter()
+                .map(|&v| s.submit(Query::bfs(v)).unwrap())
+                .collect();
+            assert_eq!(s.run_pending(), 4);
+            results.push(ids.into_iter().map(|id| s.take(id).unwrap()).collect());
+        }
+        let (sync, pipe) = (&results[0], &results[1]);
+        for (a, b) in sync.iter().zip(pipe) {
+            assert_eq!(a.stats().kernel_launches, b.stats().kernel_launches);
+            assert_eq!(a.stats().host_bytes, b.stats().host_bytes);
+        }
+        for (a, b) in sync.iter().zip(pipe.iter().cloned()) {
+            if let QueryResult::Bfs(want) = a {
+                assert_eq!(want.levels, b.into_bfs().levels);
+            }
+        }
     }
 
     #[test]

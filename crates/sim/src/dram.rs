@@ -137,6 +137,22 @@ impl Dram {
         self.occupy(arrive, span)
     }
 
+    /// Counter-only twin of [`read_bulk`](Self::read_bulk): charge the
+    /// traffic a bulk read would record without occupying the bank or
+    /// returning a completion time. Used to retro-account asynchronous
+    /// copies whose *time* was already paid on a pipelined copy lane but
+    /// whose *bytes* must still appear in the traffic counters exactly as
+    /// a synchronous copy's would.
+    pub fn account_bulk_read(&mut self, bytes: u64) {
+        self.bytes_read += crate::time::align_up(bytes.max(1), self.cfg.access_granularity);
+    }
+
+    /// Counter-only twin of [`write_bulk`](Self::write_bulk); see
+    /// [`account_bulk_read`](Self::account_bulk_read).
+    pub fn account_bulk_write(&mut self, bytes: u64) {
+        self.bytes_written += crate::time::align_up(bytes.max(1), self.cfg.access_granularity);
+    }
+
     fn occupy(&mut self, arrive: Time, span: u64) -> Time {
         let start = self.busy_until.max(arrive);
         let xfer = bytes_over_bandwidth_ns(span, self.cfg.bandwidth_gbps);

@@ -25,6 +25,7 @@ pub mod events;
 pub mod interconnect;
 pub mod monitor;
 pub mod pcie;
+pub mod pipeline;
 pub mod time;
 
 pub use dma::DmaEngine;
@@ -33,4 +34,5 @@ pub use events::EventQueue;
 pub use interconnect::{Interconnect, InterconnectConfig, LinkStats, PeerLinkConfig};
 pub use monitor::{BandwidthSeries, SizeHistogram, TrafficMonitor};
 pub use pcie::{PcieConfig, PcieGen, PcieLink, ReadOutcome, ReqId};
+pub use pipeline::{CopyEngine, CopyEngineConfig, CopyLaneStats, CopyTicket};
 pub use time::{bytes_over_bandwidth_ns, Time};

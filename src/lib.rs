@@ -61,8 +61,8 @@ pub mod prelude {
         PartitionStrategy, VertexId, VertexPartition, UNVISITED,
     };
     pub use emogi_runtime::{
-        DeviceGroup, DeviceGroupConfig, Machine, MachineConfig, RunStats, TransferConfig,
-        TransferStats,
+        DeviceGroup, DeviceGroupConfig, Machine, MachineConfig, PrefetchConfig, PrefetchStats,
+        Prefetcher, RunStats, TransferConfig, TransferStats,
     };
     pub use emogi_serve::{
         Query, QueryId, QueryKind, QueryResult, QueryServer, ServerConfig, ServerStats,

@@ -96,6 +96,39 @@ fn pagerank_experiment_verifies_all_modes() {
 }
 
 #[test]
+fn overlap_experiment_produces_table_and_pipelining_wins() {
+    let tables = experiments::run("overlap", &ctx());
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(t.id, "overlap");
+    // 4 programs, one pipelined-vs-synchronous row each.
+    assert_eq!(t.rows.len(), 4);
+    for row in &t.rows {
+        assert_eq!(row.len(), t.headers.len());
+    }
+    // Assert on the raw measurements, not the table's rounded cells:
+    // the pipelined engine must show a real end-to-end win on at least
+    // one program, never lose on any, and the win must come from
+    // adopted speculation whose staging latency was genuinely hidden.
+    let r = experiments::overlap::measure(&ctx());
+    let best = r
+        .rows
+        .iter()
+        .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+        .unwrap();
+    assert!(
+        best.speedup() > 1.0,
+        "best overlap speedup {}",
+        best.speedup()
+    );
+    assert!(best.prefetch.hit_regions > 0);
+    assert!(best.prefetch.hidden_ns > 0);
+    for m in &r.rows {
+        assert!(m.pipe_ns <= m.sync_ns, "{} got slower pipelined", m.program);
+    }
+}
+
+#[test]
 fn scaling_experiment_produces_table_and_scales() {
     let tables = experiments::run("scaling", &ctx());
     assert_eq!(tables.len(), 1);

@@ -1,0 +1,183 @@
+//! Pipelined-execution differential harness: on random graphs, the
+//! pipelined (overlapped DMA/kernel) engine is checked against the
+//! synchronous engine for every shipped program (BFS / SSSP / CC /
+//! PageRank), under **every** access mode, through all three execution
+//! fronts — the solo [`Engine`], batched [`run_batch`] execution, and
+//! the [`ShardedEngine`] at 1, 2 and 4 devices. Outputs and iteration
+//! counts must be **bit-identical**; every per-run statistic except the
+//! wall clock (`elapsed_ns`, the derived `avg_pcie_gbps`) and the
+//! prefetcher's own counters must be equal too — speculation is allowed
+//! to change *when* bytes move, never *which* bytes move.
+//!
+//! In non-hybrid modes the pipeline knob must be completely inert
+//! (there is no transfer manager to feed), so those cases pin the
+//! stronger claim: the stats are equal *including* the clock.
+//!
+//! The proptest shim derives each test's seed from its name, so every
+//! failure reproduces locally with a plain `cargo test --test
+//! pipeline_differential`; CI pins `EMOGI_PROPTEST_SEED` explicitly
+//! (see `.github/workflows/ci.yml`) and the same variable reproduces
+//! that exact run.
+
+mod common;
+
+use common::build_graph;
+use emogi_repro::core::sharded::{ShardedConfig, ShardedEngine};
+use emogi_repro::graph::datasets::generate_weights;
+use emogi_repro::prelude::*;
+use emogi_repro::runtime::RunStats;
+use proptest::prelude::*;
+
+/// The device counts the sharded front is checked at.
+const DEVICE_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn sync_cfg(mode: AccessMode) -> EngineConfig {
+    EngineConfig::emogi_v100().with_mode(mode)
+}
+
+fn pipe_cfg(mode: AccessMode) -> EngineConfig {
+    sync_cfg(mode).pipelined()
+}
+
+/// Strip the fields speculation is *allowed* to change: the wall clock,
+/// the bandwidth average derived from it, and the prefetcher's own
+/// counters. Everything left must be bit-identical between the
+/// synchronous and pipelined paths.
+fn semantic(stats: &RunStats) -> RunStats {
+    let mut s = stats.clone();
+    s.elapsed_ns = 0;
+    s.avg_pcie_gbps = 0.0;
+    s.prefetch = Default::default();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Solo engine, all four programs: outputs, iteration counts and
+    /// every semantic statistic are bit-identical with the pipeline on,
+    /// in every access mode. In non-hybrid modes the knob is inert and
+    /// even the clock must match.
+    #[test]
+    fn solo_runs_are_bit_identical_with_the_pipeline_on(
+        edges in common::edges(72, 350),
+        src in 0u32..72,
+        mode_idx in 0usize..4,
+        weight_seed in 0u64..1_000,
+    ) {
+        let g = build_graph(&edges, 72);
+        let w = generate_weights(g.num_edges(), weight_seed);
+        let mode = AccessMode::all()[mode_idx];
+        let tag = format!("{mode:?}");
+        let hybrid = mode == AccessMode::Hybrid;
+
+        let mut sync = Engine::load(sync_cfg(mode), &g);
+        let mut pipe = Engine::load(pipe_cfg(mode), &g);
+
+        let (a, b) = (sync.bfs(src), pipe.bfs(src));
+        prop_assert_eq!(&a.levels, &b.levels, "{} bfs levels", &tag);
+        prop_assert_eq!(semantic(&a.stats), semantic(&b.stats), "{} bfs stats", &tag);
+        if !hybrid {
+            prop_assert_eq!(&a.stats, &b.stats, "{} bfs inert-knob stats", &tag);
+        }
+
+        let (a, b) = (sync.sssp(&w, src), pipe.sssp(&w, src));
+        prop_assert_eq!(&a.dist, &b.dist, "{} sssp dist", &tag);
+        prop_assert_eq!(semantic(&a.stats), semantic(&b.stats), "{} sssp stats", &tag);
+
+        let (a, b) = (sync.cc(), pipe.cc());
+        prop_assert_eq!(&a.comp, &b.comp, "{} cc labels", &tag);
+        prop_assert_eq!(a.hook_passes, b.hook_passes, "{} cc passes", &tag);
+        prop_assert_eq!(semantic(&a.stats), semantic(&b.stats), "{} cc stats", &tag);
+
+        let (a, b) = (sync.pagerank(0.85, 7), pipe.pagerank(0.85, 7));
+        prop_assert_eq!(&a.ranks, &b.ranks, "{} pagerank ranks", &tag);
+        prop_assert_eq!(semantic(&a.stats), semantic(&b.stats), "{} pagerank stats", &tag);
+    }
+
+    /// Batched multi-query execution: per-query outputs, per-query
+    /// iteration counts and the batch-level semantic stats are
+    /// bit-identical with the pipeline on, in every access mode.
+    #[test]
+    fn batched_runs_are_bit_identical_with_the_pipeline_on(
+        edges in common::edges(64, 300),
+        sources in common::sources(64, 5),
+        mode_idx in 0usize..4,
+    ) {
+        let g = build_graph(&edges, 64);
+        let mode = AccessMode::all()[mode_idx];
+        let tag = format!("{mode:?}");
+
+        let mut sync = Engine::load(sync_cfg(mode), &g);
+        let mut pipe = Engine::load(pipe_cfg(mode), &g);
+        let programs = |g: &CsrGraph| -> Vec<BfsProgram> {
+            sources.iter().map(|&s| BfsProgram::new(g, s)).collect()
+        };
+
+        let a = sync.run_batch(programs(&g));
+        let b = pipe.run_batch(programs(&g));
+        prop_assert_eq!(semantic(&a.stats), semantic(&b.stats), "{} batch stats", &tag);
+        prop_assert_eq!(a.runs.len(), b.runs.len());
+        for (q, (ra, rb)) in a.runs.iter().zip(&b.runs).enumerate() {
+            prop_assert_eq!(&ra.levels, &rb.levels, "{} query {} levels", &tag, q);
+            prop_assert_eq!(
+                ra.stats.kernel_launches, rb.stats.kernel_launches,
+                "{} query {} iterations", &tag, q
+            );
+            prop_assert_eq!(
+                semantic(&ra.stats), semantic(&rb.stats),
+                "{} query {} stats", &tag, q
+            );
+        }
+    }
+
+    /// Sharded execution at 1, 2 and 4 devices: outputs and iteration
+    /// counts with the pipeline on equal the synchronous single-device
+    /// engine's, for all four programs (each device runs its own copy
+    /// lane, so this also pins cross-device prediction independence).
+    #[test]
+    fn sharded_runs_are_bit_identical_with_the_pipeline_on(
+        edges in common::edges(64, 300),
+        src in 0u32..64,
+        mode_idx in 0usize..4,
+        weight_seed in 0u64..1_000,
+    ) {
+        let g = build_graph(&edges, 64);
+        let w = generate_weights(g.num_edges(), weight_seed);
+        let mode = AccessMode::all()[mode_idx];
+
+        let mut solo = Engine::load(sync_cfg(mode), &g);
+        let bfs = solo.bfs(src);
+        let sssp = solo.sssp(&w, src);
+        let cc = solo.cc();
+        let pr = solo.pagerank(0.85, 5);
+
+        for devices in DEVICE_COUNTS {
+            let tag = format!("{mode:?}/{devices}dev");
+            let cfg = ShardedConfig::emogi_v100(devices).with_mode(mode).pipelined();
+            let mut e = ShardedEngine::load(cfg, &g);
+
+            let run = e.bfs(src);
+            prop_assert_eq!(&run.levels, &bfs.levels, "{} bfs levels", &tag);
+            prop_assert_eq!(
+                run.iterations, bfs.stats.kernel_launches,
+                "{} bfs iterations", &tag
+            );
+            let run = e.sssp(&w, src);
+            prop_assert_eq!(&run.dist, &sssp.dist, "{} sssp dist", &tag);
+            prop_assert_eq!(
+                run.iterations, sssp.stats.kernel_launches,
+                "{} sssp iterations", &tag
+            );
+            let run = e.cc();
+            prop_assert_eq!(&run.comp, &cc.comp, "{} cc labels", &tag);
+            prop_assert_eq!(run.hook_passes, cc.hook_passes, "{} cc passes", &tag);
+            let run = e.pagerank(0.85, 5);
+            prop_assert_eq!(&run.ranks, &pr.ranks, "{} pagerank ranks", &tag);
+            prop_assert_eq!(
+                run.iterations, pr.stats.kernel_launches,
+                "{} pagerank iterations", &tag
+            );
+        }
+    }
+}

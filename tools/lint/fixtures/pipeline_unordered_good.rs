@@ -1,0 +1,32 @@
+// Known-good: the real copy lane keeps its in-flight tickets in a FIFO
+// VecDeque — submission order IS completion order on a single serial
+// lane — and any hash-map index serves point lookups only, with
+// iteration laundered through an explicit sort.
+use std::collections::{HashMap, VecDeque};
+
+pub struct Lane {
+    inflight: VecDeque<u64>,
+    by_id: HashMap<u64, u64>,
+}
+
+impl Lane {
+    pub fn drain_completed(&mut self, at: u64, out: &mut Vec<u64>) {
+        while let Some(&done) = self.inflight.front() {
+            if done > at {
+                break;
+            }
+            out.push(done);
+            self.inflight.pop_front();
+        }
+    }
+
+    pub fn lookup(&self, id: u64) -> Option<u64> {
+        self.by_id.get(&id).copied()
+    }
+
+    pub fn ids_sorted(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.by_id.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}

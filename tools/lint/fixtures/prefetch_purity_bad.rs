@@ -1,0 +1,18 @@
+// Known-bad: a prefetch ranking hook that reads live machine state.
+// Prediction must be a pure function of iteration-start state — the
+// planner's staging table, accumulated densities, the round's touch
+// set — or the pipelined path's staging decisions (and with them every
+// device-pool charge and address) would depend on copy-lane timing,
+// breaking bit-identity with the synchronous engine.
+pub struct Ranker;
+
+impl Ranker {
+    fn rank_candidates(&self, m: &Machine) -> Vec<u32> {
+        let cut = m.now; // live clock as a prediction input
+        self.pick(cut)
+    }
+
+    fn step(&mut self, m: &mut Machine) {
+        m.monitor.on_dma(0, 1, 1); // hooks never touch the traffic monitor
+    }
+}

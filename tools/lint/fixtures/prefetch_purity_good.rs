@@ -1,0 +1,19 @@
+// Known-good: ranking reads only the planner's iteration-start inputs —
+// the staging table, the accumulated per-region densities and the
+// round's touch set — and orders candidates totally (score, then region
+// index), so the prediction is replayable from those inputs alone.
+pub struct Ranker;
+
+impl Ranker {
+    fn rank_candidates(&self, table: &[u64], touched: &[(u32, u64)]) -> Vec<u32> {
+        let mut scored: Vec<(f64, u32)> = Vec::new();
+        for (r, _) in table.iter().enumerate() {
+            let score = self.cum[r] + self.predicted(touched, r);
+            if score >= self.threshold {
+                scored.push((score, r as u32));
+            }
+        }
+        scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.into_iter().map(|(_, r)| r).collect()
+    }
+}

@@ -31,9 +31,14 @@ types = ["HashMap", "HashSet", "FastMap", "FastSet"]
 patterns = ["Instant::now", "SystemTime", "thread_rng", "rand::random"]
 
 [rules.kernel-purity]
-modules = ["purity_bad.rs", "purity_good.rs"]
-hooks = ["next_task", "step", "visit_edge", "open_vertex"]
-disallowed = ["source_ctx", "begin_iteration", "post_iteration", "Machine", "now"]
+modules = [
+    "purity_bad.rs",
+    "purity_good.rs",
+    "prefetch_purity_bad.rs",
+    "prefetch_purity_good.rs",
+]
+hooks = ["next_task", "step", "visit_edge", "open_vertex", "rank_candidates"]
+disallowed = ["source_ctx", "begin_iteration", "post_iteration", "Machine", "now", "monitor"]
 
 [rules.float-fold]
 modules = ["float_fold_bad.rs", "float_fold_good.rs"]
@@ -145,6 +150,58 @@ fn purity_bad_fires() {
 #[test]
 fn purity_good_is_clean() {
     let d = lint_source("purity_good.rs", &fixture("purity_good.rs"), &fixture_cfg());
+    assert!(d.is_empty(), "{}", render(&d));
+}
+
+#[test]
+fn prefetch_purity_bad_fires() {
+    let d = lint_source(
+        "prefetch_purity_bad.rs",
+        &fixture("prefetch_purity_bad.rs"),
+        &fixture_cfg(),
+    );
+    assert_eq!(
+        fired(&d, rules::KERNEL_PURITY),
+        2,
+        "live clock in rank_candidates + monitor write in step should fire:\n{}",
+        render(&d)
+    );
+    assert_eq!(d.len(), 2, "no other rule should fire:\n{}", render(&d));
+}
+
+#[test]
+fn prefetch_purity_good_is_clean() {
+    let d = lint_source(
+        "prefetch_purity_good.rs",
+        &fixture("prefetch_purity_good.rs"),
+        &fixture_cfg(),
+    );
+    assert!(d.is_empty(), "{}", render(&d));
+}
+
+#[test]
+fn pipeline_unordered_bad_fires() {
+    let d = lint_source(
+        "pipeline_unordered_bad.rs",
+        &fixture("pipeline_unordered_bad.rs"),
+        &fixture_cfg(),
+    );
+    assert_eq!(
+        fired(&d, rules::UNORDERED_ITER),
+        2,
+        "drain + keys over the in-flight map should both fire:\n{}",
+        render(&d)
+    );
+    assert_eq!(d.len(), 2, "no other rule should fire:\n{}", render(&d));
+}
+
+#[test]
+fn pipeline_unordered_good_is_clean() {
+    let d = lint_source(
+        "pipeline_unordered_good.rs",
+        &fixture("pipeline_unordered_good.rs"),
+        &fixture_cfg(),
+    );
     assert!(d.is_empty(), "{}", render(&d));
 }
 
@@ -264,6 +321,52 @@ fn live_ctx_capture_in_kernel_hook_fires() {
     assert!(
         fired(&d, rules::KERNEL_PURITY) >= 1,
         "live capture in a hook must fire:\n{}",
+        render(&d)
+    );
+}
+
+/// The pipelined predictor is under the same purity gate as the kernel
+/// hooks: re-introducing a live machine/clock read into a
+/// `rank_candidates` body fires kernel-purity on the real prefetch
+/// module.
+#[test]
+fn live_machine_read_in_rank_candidates_fires() {
+    let cfg = workspace_cfg();
+    let path = "crates/runtime/src/prefetch.rs";
+    let src = real(path);
+    assert!(
+        lint_source(path, &src, &cfg).is_empty(),
+        "intact prefetch module clean"
+    );
+    let mutated = format!(
+        "{src}\nimpl Regress {{ fn rank_candidates(&self, m: &Machine) -> u64 {{ m.now }} }}\n"
+    );
+    let d = lint_source(path, &mutated, &cfg);
+    assert!(
+        fired(&d, rules::KERNEL_PURITY) >= 1,
+        "live machine read in the prediction hook must fire:\n{}",
+        render(&d)
+    );
+}
+
+/// The copy-lane module is purity-gated too: a hook body advancing the
+/// machine clock from inside the lane fires on the real pipeline module.
+#[test]
+fn machine_clock_write_in_copy_lane_hook_fires() {
+    let cfg = workspace_cfg();
+    let path = "crates/sim/src/pipeline.rs";
+    let src = real(path);
+    assert!(
+        lint_source(path, &src, &cfg).is_empty(),
+        "intact pipeline module clean"
+    );
+    let mutated = format!(
+        "{src}\nimpl Regress {{ fn step(&mut self, m: &mut Machine) {{ m.now += 1; }} }}\n"
+    );
+    let d = lint_source(path, &mutated, &cfg);
+    assert!(
+        fired(&d, rules::KERNEL_PURITY) >= 1,
+        "clock write in a copy-lane hook must fire:\n{}",
         render(&d)
     );
 }
