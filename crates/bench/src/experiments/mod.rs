@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod apps;
 pub mod case_study;
 pub mod hybrid;
+pub mod layout;
 pub mod matrix;
 pub mod misc;
 pub mod overlap;
@@ -49,6 +50,7 @@ pub const ALL_IDS: &[&str] = &[
     "hybrid",
     "pagerank",
     "overlap",
+    "layout",
     "serve",
     "scaling",
 ];
@@ -79,6 +81,7 @@ pub fn run(id: &str, ctx: &Context) -> Vec<Table> {
         "hybrid" => vec![hybrid::hybrid(ctx)],
         "pagerank" => vec![pagerank::pagerank(ctx)],
         "overlap" => vec![overlap::overlap(ctx)],
+        "layout" => vec![layout::layout(ctx)],
         "serve" => vec![serve::serve(ctx)],
         "scaling" => vec![scaling::scaling(ctx)],
         other => panic!("unknown experiment id {other:?} (known: {ALL_IDS:?})"),
@@ -107,6 +110,7 @@ pub fn run_all(ctx: &Context) -> Vec<Table> {
     out.push(hybrid::hybrid(ctx));
     out.push(pagerank::pagerank(ctx));
     out.push(overlap::overlap(ctx));
+    out.push(layout::layout(ctx));
     out.push(serve::serve(ctx));
     out.push(scaling::scaling(ctx));
     out

@@ -56,6 +56,14 @@ pub struct EngineConfig {
     /// traffic counters are bit-identical to the synchronous path; only
     /// elapsed time (and the [`RunStats::prefetch`] counters) change.
     pub pipeline: Option<PrefetchConfig>,
+    /// Frontier access reordering: sort each iteration's work by the
+    /// cache segment (one L2 capacity's worth of edge-list bytes) its
+    /// first edge-list access lands in, grouping warps whose reads share
+    /// lines. A pure function of iteration-start state (see
+    /// [`crate::reorder`]), so outputs and iteration counts are
+    /// bit-identical with the knob on or off; traffic statistics and
+    /// timing may differ. Off by default.
+    pub frontier_reorder: bool,
 }
 
 /// Pre-redesign name of [`EngineConfig`], kept for downstream code.
@@ -71,6 +79,7 @@ impl EngineConfig {
             elem_bytes: 8,
             transfer: None,
             pipeline: None,
+            frontier_reorder: false,
         }
     }
 
@@ -84,6 +93,7 @@ impl EngineConfig {
             elem_bytes: 8,
             transfer: None,
             pipeline: None,
+            frontier_reorder: false,
         }
     }
 
@@ -139,6 +149,13 @@ impl EngineConfig {
     /// Enable pipelined execution with the default prefetcher.
     pub fn pipelined(self) -> Self {
         self.with_pipeline(PrefetchConfig::default())
+    }
+
+    /// Toggle frontier access reordering (see
+    /// [`EngineConfig::frontier_reorder`]).
+    pub fn with_frontier_reorder(mut self, on: bool) -> Self {
+        self.frontier_reorder = on;
+        self
     }
 
     /// Replace the simulated platform.
@@ -293,6 +310,9 @@ pub struct Engine<'g> {
     /// Pipelined execution: the speculative prefetcher feeding the
     /// asynchronous copy lane (present only when `transfer` is too).
     prefetcher: Option<Prefetcher>,
+    /// Frontier access reordering: segment size to sort each iteration's
+    /// work by, or `None` when the knob is off.
+    reorder_segment: Option<u64>,
     /// Device status arrays for batched multi-query execution, one per
     /// query slot, allocated on first use and reused across batches.
     batch_status: Vec<u64>,
@@ -304,6 +324,9 @@ impl<'g> Engine<'g> {
     /// that declares it — weights are a program input, not an engine
     /// field.
     pub fn load(cfg: EngineConfig, graph: &'g CsrGraph) -> Self {
+        let reorder_segment = cfg
+            .frontier_reorder
+            .then_some(cfg.machine.gpu.cache.capacity_bytes);
         let mut machine = Machine::new(cfg.machine);
         let layout = GraphLayout::place(&mut machine, graph, cfg.elem_bytes, cfg.placement, false);
         let transfer = build_transfer(&machine, graph, cfg.elem_bytes, cfg.placement, cfg.transfer);
@@ -316,6 +339,7 @@ impl<'g> Engine<'g> {
             placement: cfg.placement,
             transfer,
             prefetcher,
+            reorder_segment,
             batch_status: Vec::new(),
         }
     }
@@ -434,6 +458,14 @@ impl<'g> Engine<'g> {
                 frontier.sort_unstable();
                 frontier.dedup();
                 while !frontier.is_empty() {
+                    if let Some(seg) = self.reorder_segment {
+                        crate::reorder::reorder_frontier(
+                            &self.layout,
+                            self.graph,
+                            &mut frontier,
+                            seg,
+                        );
+                    }
                     self.charge_vertex_scan();
                     self.plan_transfers(pattern, &frontier);
                     program.begin_iteration();
@@ -636,6 +668,15 @@ impl<'g> Engine<'g> {
             crate::batch::merge_frontiers(&frontiers, &mut union, &mut masks);
             if union.is_empty() {
                 break;
+            }
+            if let Some(seg) = self.reorder_segment {
+                crate::reorder::reorder_union(
+                    &self.layout,
+                    self.graph,
+                    &mut union,
+                    &mut masks,
+                    seg,
+                );
             }
             let active: Vec<usize> = (0..nq).filter(|&q| !frontiers[q].is_empty()).collect();
             let iter_snap = self.machine.snapshot();

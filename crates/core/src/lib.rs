@@ -32,6 +32,10 @@
 //!   programs. The first three are the paper's applications; PageRank is
 //!   the generality proof: a fourth program with zero driver, kernel or
 //!   transfer-planner changes;
+//! * [`reorder`] — optional frontier access reordering: sort each
+//!   iteration's work by the cache segment of its first edge-list
+//!   access (off by default; a pure iteration-start transform, so
+//!   outputs stay bit-identical either way);
 //! * [`sharded`] — the multi-GPU [`ShardedEngine`]: the same programs
 //!   over a device group, vertices partitioned across devices, each
 //!   device reading only its frontier shard's edge-list ranges over its
@@ -72,6 +76,7 @@ pub mod kernel;
 pub mod layout;
 pub mod pagerank;
 pub mod program;
+pub mod reorder;
 pub mod sharded;
 pub mod sssp;
 pub mod strategy;

@@ -32,7 +32,7 @@ pub struct PageRankOutput {
 
 /// The PageRank vertex program.
 pub struct PageRankProgram<'g> {
-    /// The graph, kept for the canonical-order semantic reduction in
+    /// The graph, kept for the value-ordered semantic reduction in
     /// [`post_iteration`](VertexProgram::post_iteration).
     graph: &'g CsrGraph,
     damping: f64,
@@ -87,15 +87,24 @@ impl VertexProgram for PageRankProgram<'_> {
 
     fn begin_iteration(&mut self) {
         self.iterations += 1;
-        self.dangling = 0.0;
+        // Dangling mass folds in ascending value order: every rank is
+        // positive, so the IEEE-754 bit pattern orders exactly like the
+        // value and the sum is independent of the vertex labeling (the
+        // multiset of dangling ranks is what a relabeling preserves).
+        let mut dangling_bits: Vec<u64> = Vec::new();
         for v in 0..self.rank.len() {
             self.next[v] = 0.0;
             if self.deg[v] == 0 {
                 self.contrib[v] = 0.0;
-                self.dangling += self.rank[v];
+                dangling_bits.push(self.rank[v].to_bits());
             } else {
                 self.contrib[v] = self.rank[v] / self.deg[v] as f64;
             }
+        }
+        dangling_bits.sort_unstable();
+        self.dangling = 0.0;
+        for &b in &dangling_bits {
+            self.dangling += f64::from_bits(b);
         }
     }
 
@@ -105,29 +114,40 @@ impl VertexProgram for PageRankProgram<'_> {
 
     /// Models the kernel's atomicAdd into the destination's accumulator
     /// entry. Traffic only: the *semantic* sum is applied in
-    /// [`post_iteration`](VertexProgram::post_iteration) in canonical
-    /// edge order, because floating-point addition is not associative —
-    /// summing in warp-interleaving (or shard) order would make the
-    /// ranks depend on simulation timing and device count.
+    /// [`post_iteration`](VertexProgram::post_iteration) in a canonical
+    /// value-sorted order, because floating-point addition is not
+    /// associative — summing in warp-interleaving (or shard) order
+    /// would make the ranks depend on simulation timing and device
+    /// count.
     fn edge(&mut self, _i: u64, _src: VertexId, _dst: VertexId, _contrib: f64) -> EdgeEffect {
         EdgeEffect::UpdateDst { activate: false }
     }
 
     /// Between sweeps: fold every vertex's contribution into its
-    /// neighbours' accumulators in canonical CSR order (vertex-ascending,
-    /// list order — the same order as the CPU reference, so ranks are
-    /// bit-equal to [`emogi_graph::algo::pagerank`] and independent of
-    /// sharding), then the rank update — one bulk pass over two
-    /// per-vertex streams.
+    /// neighbours' accumulators in **ascending value order per
+    /// destination** — each `(dst, contribution-bits)` pair is gathered
+    /// and sorted before the fold. Every contribution is positive, so
+    /// bit order equals numeric order, and the per-destination addend
+    /// *multiset* (which any vertex relabeling preserves) fully
+    /// determines the sum: ranks are bit-equal to
+    /// [`emogi_graph::algo::pagerank`] (which folds the same way),
+    /// independent of sharding **and** invariant under cache-aware
+    /// relabelings (`tests/layout_differential.rs`). Then the rank
+    /// update — one bulk pass over two per-vertex streams.
     fn post_iteration(&mut self, work: &mut DeviceWork) {
+        let mut addends: Vec<(VertexId, u64)> = Vec::with_capacity(self.graph.num_edges());
         for v in 0..self.rank.len() {
-            let c = self.contrib[v];
             if self.deg[v] == 0 {
                 continue;
             }
+            let bits = self.contrib[v].to_bits();
             for &dst in self.graph.neighbors(v as VertexId) {
-                self.next[dst as usize] += c;
+                addends.push((dst, bits));
             }
+        }
+        addends.sort_unstable();
+        for &(dst, bits) in &addends {
+            self.next[dst as usize] += f64::from_bits(bits);
         }
         let n = self.rank.len() as f64;
         let base = (1.0 - self.damping) / n + self.damping * self.dangling / n;

@@ -141,6 +141,13 @@ impl ShardedConfig {
         self.peer = None;
         self
     }
+
+    /// Toggle frontier access reordering on every device (see
+    /// [`EngineConfig::frontier_reorder`]).
+    pub fn with_frontier_reorder(mut self, on: bool) -> Self {
+        self.engine = self.engine.with_frontier_reorder(on);
+        self
+    }
 }
 
 /// Result of one sharded program execution.
@@ -204,6 +211,9 @@ pub struct ShardedEngine<'g> {
     partition: VertexPartition,
     strategy: AccessStrategy,
     placement: EdgePlacement,
+    /// Frontier access reordering: segment size each device sorts its
+    /// work slices by, or `None` when the knob is off.
+    reorder_segment: Option<u64>,
 }
 
 impl<'g> ShardedEngine<'g> {
@@ -212,6 +222,10 @@ impl<'g> ShardedEngine<'g> {
     /// [`Engine`](crate::engine::Engine) would build.
     pub fn load(cfg: ShardedConfig, graph: &'g CsrGraph) -> Self {
         let partition = cfg.partition.partition(graph, cfg.devices);
+        let reorder_segment = cfg
+            .engine
+            .frontier_reorder
+            .then_some(cfg.engine.machine.gpu.cache.capacity_bytes);
         let mut group = DeviceGroup::new(DeviceGroupConfig {
             devices: cfg.devices,
             machine: cfg.engine.machine.clone(),
@@ -245,6 +259,7 @@ impl<'g> ShardedEngine<'g> {
             partition,
             strategy: cfg.engine.strategy,
             placement: cfg.engine.placement,
+            reorder_segment,
         }
     }
 
@@ -432,6 +447,13 @@ impl<'g> ShardedEngine<'g> {
                     }
                     let bounds = self.partition.slice_bounds(&frontier);
                     self.build_work_items(&frontier, &bounds, &mut items);
+                    // Reorder each device's slices, never the frontier
+                    // itself — `slice_bounds` needs it sorted.
+                    if let Some(seg) = self.reorder_segment {
+                        for (d, it) in items.iter_mut().enumerate() {
+                            crate::reorder::reorder_slices(&self.layouts[d], it, seg);
+                        }
+                    }
                     for (d, it) in items.iter().enumerate() {
                         if !it.is_empty() {
                             self.charge_vertex_scan(d);

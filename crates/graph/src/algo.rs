@@ -86,10 +86,16 @@ pub fn cc_labels(g: &CsrGraph) -> Vec<u32> {
 /// PageRank by damped power iteration (push formulation): per sweep,
 /// every vertex pushes `rank[v] / outdeg(v)` along its outgoing edges;
 /// dangling vertices (no outgoing edges) redistribute their mass
-/// uniformly, so ranks always sum to 1. The GPU program
-/// (`emogi_core::PageRankProgram`) implements exactly this recurrence;
-/// only floating-point accumulation order differs, so comparisons use a
-/// small epsilon rather than exact equality.
+/// uniformly, so ranks always sum to 1.
+///
+/// Both floating-point folds — the dangling-mass gather and the
+/// per-destination contribution sum — run in **ascending value order**
+/// (every addend is positive, so IEEE-754 bit order equals numeric
+/// order). That makes each sum a function of its addend *multiset*
+/// alone, which a vertex relabeling preserves: the GPU program
+/// (`emogi_core::PageRankProgram`) folds the same way, so engine ranks
+/// are bit-equal to this reference and invariant under the cache-aware
+/// layouts of [`crate::reorder`].
 pub fn pagerank(g: &CsrGraph, damping: f64, iterations: u32) -> Vec<f64> {
     assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
     let n = g.num_vertices();
@@ -98,17 +104,29 @@ pub fn pagerank(g: &CsrGraph, damping: f64, iterations: u32) -> Vec<f64> {
     let mut next = vec![0.0f64; n];
     for _ in 0..iterations {
         next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling_bits: Vec<u64> = (0..n as u32)
+            .filter(|&v| g.degree(v) == 0)
+            .map(|v| rank[v as usize].to_bits())
+            .collect();
+        dangling_bits.sort_unstable();
         let mut dangling = 0.0;
+        for &b in &dangling_bits {
+            dangling += f64::from_bits(b);
+        }
+        let mut addends: Vec<(VertexId, u64)> = Vec::with_capacity(g.num_edges());
         for v in 0..n as u32 {
             let deg = g.degree(v);
             if deg == 0 {
-                dangling += rank[v as usize];
                 continue;
             }
-            let contrib = rank[v as usize] / deg as f64;
+            let bits = (rank[v as usize] / deg as f64).to_bits();
             for &dst in g.neighbors(v) {
-                next[dst as usize] += contrib;
+                addends.push((dst, bits));
             }
+        }
+        addends.sort_unstable();
+        for &(dst, bits) in &addends {
+            next[dst as usize] += f64::from_bits(bits);
         }
         let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
         for v in 0..n {

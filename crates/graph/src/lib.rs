@@ -10,6 +10,8 @@
 //!   log-normal dense, locality web crawl);
 //! * [`datasets`] — the six Table 2 stand-ins (GK, GU, FS, ML, SK, UK5),
 //!   scaled ~1000× down with matched degree distributions;
+//! * [`reorder`] — cache-aware vertex relabelings (degree-sorted,
+//!   hub-clustered) with invertible [`LayoutPlan`] result mapping;
 //! * [`analysis`] — degree statistics and the edge-count CDF of Figure 6;
 //! * [`algo`] — CPU reference BFS / SSSP / CC used to verify every
 //!   simulated engine.
@@ -35,12 +37,14 @@ pub mod csr;
 pub mod datasets;
 pub mod generators;
 pub mod partition;
+pub mod reorder;
 
 pub use analysis::DegreeCdf;
 pub use builder::EdgeListBuilder;
 pub use csr::CsrGraph;
 pub use datasets::{Dataset, DatasetKey, DatasetSpec};
 pub use partition::{PartitionStrategy, VertexPartition};
+pub use reorder::LayoutPlan;
 
 /// Vertex identifier. The scaled datasets stay far below `u32::MAX`
 /// vertices; the simulated *element size* of the edge list (4 or 8 bytes,

@@ -224,6 +224,15 @@ impl<K: Kernel> Executor<'_, K> {
 
         self.txns.clear();
         self.coalescer.coalesce(self.batch.items(), &mut self.txns);
+        // Coalescing-efficiency accounting: bytes the lanes asked for
+        // vs bytes the merged transactions move.
+        self.m.lane_bytes += self
+            .batch
+            .items()
+            .iter()
+            .map(|a| u64::from(a.size))
+            .sum::<u64>();
+        self.m.txn_bytes += self.txns.iter().map(|t| u64::from(t.size)).sum::<u64>();
         // Move the transactions out to appease the borrow checker; the
         // buffer is swapped back afterwards so its capacity is reused.
         let mut txns = std::mem::take(&mut self.txns);

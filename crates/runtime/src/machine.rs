@@ -97,6 +97,13 @@ pub struct Machine {
     pub now: Time,
     /// Kernel launch fixed cost (driver + launch latency).
     pub kernel_launch_ns: Time,
+    /// Bytes the kernels' lanes actually requested (pre-coalescing);
+    /// incremented by the executor per warp step.
+    pub lane_bytes: u64,
+    /// Bytes the coalescer moved for those lanes (post-coalescing
+    /// transaction sizes). `lane_bytes / txn_bytes` is the coalescing
+    /// efficiency the layout experiments report.
+    pub txn_bytes: u64,
 }
 
 /// Scalar counter snapshot used to diff per-run statistics.
@@ -110,6 +117,10 @@ pub struct Snapshot {
     dram_read: u64,
     faults: u64,
     migrated: u64,
+    l2_hits: u64,
+    l2_misses: u64,
+    lane_bytes: u64,
+    txn_bytes: u64,
 }
 
 impl Machine {
@@ -126,6 +137,8 @@ impl Machine {
             uvm: None,
             now: 0,
             kernel_launch_ns: 100, // scaled with the datasets (see DESIGN.md)
+            lane_bytes: 0,
+            txn_bytes: 0,
             cfg,
         }
     }
@@ -228,6 +241,10 @@ impl Machine {
             dram_read: self.host_dram.bytes_read,
             faults,
             migrated,
+            l2_hits: self.cache.stats.sector_hits,
+            l2_misses: self.cache.stats.sector_misses,
+            lane_bytes: self.lane_bytes,
+            txn_bytes: self.txn_bytes,
         }
     }
 
@@ -260,6 +277,10 @@ impl Machine {
             page_faults: faults - base.faults,
             pages_migrated: migrated - base.migrated,
             host_dram_bytes: self.host_dram.bytes_read - base.dram_read,
+            l2_sector_hits: self.cache.stats.sector_hits - base.l2_hits,
+            l2_sector_misses: self.cache.stats.sector_misses - base.l2_misses,
+            lane_bytes: self.lane_bytes - base.lane_bytes,
+            txn_bytes: self.txn_bytes - base.txn_bytes,
             // The transfer manager and prefetcher live outside the
             // machine; whoever owns them (the engine) overwrites these
             // with the per-run diffs.

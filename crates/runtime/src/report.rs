@@ -60,6 +60,15 @@ pub struct RunStats {
     pub pages_migrated: u64,
     /// Host DRAM traffic (Figure 4's DRAM lane).
     pub host_dram_bytes: u64,
+    /// L2 sectors that hit during this run's kernels (the cache-aware
+    /// `layout` experiment's numerator).
+    pub l2_sector_hits: u64,
+    /// L2 sectors that missed during this run's kernels.
+    pub l2_sector_misses: u64,
+    /// Bytes the kernels' lanes requested, before coalescing.
+    pub lane_bytes: u64,
+    /// Bytes the coalesced transactions moved for those lanes.
+    pub txn_bytes: u64,
     /// Hybrid transfer-manager counters for this run; all-zero for runs
     /// that never stage (pure zero-copy, UVM).
     pub transfer: TransferStats,
@@ -77,6 +86,28 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// Fraction of probed L2 sectors that hit over this run; 0 when no
+    /// sector was probed. Higher under cache-aware vertex layouts.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_sector_hits + self.l2_sector_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_sector_hits as f64 / total as f64
+        }
+    }
+
+    /// Requested lane bytes over moved transaction bytes — 1.0 means
+    /// every transferred byte was asked for by a lane; lower means the
+    /// coalescer padded scattered accesses out to sector granularity.
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.txn_bytes == 0 {
+            0.0
+        } else {
+            self.lane_bytes as f64 / self.txn_bytes as f64
+        }
+    }
+
     /// The paper's I/O read amplification metric (Figure 10).
     pub fn amplification(&self, dataset_bytes: u64) -> f64 {
         if dataset_bytes == 0 {
@@ -100,6 +131,10 @@ impl RunStats {
         self.page_faults += iteration.page_faults;
         self.pages_migrated += iteration.pages_migrated;
         self.host_dram_bytes += iteration.host_dram_bytes;
+        self.l2_sector_hits += iteration.l2_sector_hits;
+        self.l2_sector_misses += iteration.l2_sector_misses;
+        self.lane_bytes += iteration.lane_bytes;
+        self.txn_bytes += iteration.txn_bytes;
         self.transfer += iteration.transfer;
         self.prefetch += iteration.prefetch;
         self.avg_pcie_gbps = if self.elapsed_ns == 0 {
@@ -126,6 +161,10 @@ impl RunStats {
             total.page_faults += s.page_faults;
             total.pages_migrated += s.pages_migrated;
             total.host_dram_bytes += s.host_dram_bytes;
+            total.l2_sector_hits += s.l2_sector_hits;
+            total.l2_sector_misses += s.l2_sector_misses;
+            total.lane_bytes += s.lane_bytes;
+            total.txn_bytes += s.txn_bytes;
             total.transfer += s.transfer;
             total.prefetch += s.prefetch;
         }

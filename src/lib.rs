@@ -57,7 +57,7 @@ pub mod prelude {
         ShardedRun, SsspOutput, SsspProgram, SsspRun, VertexProgram,
     };
     pub use emogi_graph::{
-        algo, datasets, generators, CsrGraph, Dataset, DatasetKey, EdgeListBuilder,
+        algo, datasets, generators, CsrGraph, Dataset, DatasetKey, EdgeListBuilder, LayoutPlan,
         PartitionStrategy, VertexId, VertexPartition, UNVISITED,
     };
     pub use emogi_runtime::{

@@ -1,12 +1,14 @@
-//! Shared generators for the integration-test suites: random graphs and
-//! query mixes used by `proptests.rs`, `serve_proptests.rs` and
-//! `sharded_differential.rs`.
+//! Shared generators for the integration-test suites: random graphs,
+//! query mixes and vertex permutations used by `proptests.rs`,
+//! `serve_proptests.rs`, `sharded_differential.rs` and
+//! `layout_differential.rs`.
 //!
 //! Each integration test binary compiles this module independently
 //! (`mod common;`), so not every helper is used by every binary.
 #![allow(dead_code)]
 
-use emogi_repro::graph::{CsrGraph, EdgeListBuilder};
+use emogi_repro::core::{Engine, EngineConfig};
+use emogi_repro::graph::{CsrGraph, EdgeListBuilder, LayoutPlan};
 use proptest::prelude::*;
 
 /// Build a symmetrized CSR graph over `n` vertices from arbitrary edge
@@ -36,4 +38,93 @@ pub fn sources(n: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
 /// vertices.
 pub fn query_mix(n: u32, max_len: usize) -> impl Strategy<Value = Vec<(bool, u32)>> {
     prop::collection::vec((any::<bool>(), 0u32..n), 1..max_len)
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` driven by `seed`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut state = seed;
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Strategy: an arbitrary permutation of `0..n` vertex ids (as a
+/// [`LayoutPlan`]-ready `perm[old] = new` table).
+pub fn permutation(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    any::<u64>().prop_map(move |seed| random_permutation(n, seed))
+}
+
+/// Metamorphic check: running every shipped program on a relabeled copy
+/// of `graph` (sources mapped through `plan`, results mapped back
+/// through its inverse) must reproduce the identity-layout run
+/// **bit-identically** under the same engine configuration — outputs
+/// and iteration counts alike. CC is the one declared exception: its
+/// labels are vertex ids, so components are compared through
+/// [`LayoutPlan::unmap_components`]'s canonical min-old-id mapping and
+/// its hook-pass count is layout-dependent by design (within one
+/// layout it still equals the solo/sharded counts, which
+/// `sharded_differential.rs` pins).
+///
+/// SSSP runs first so UVM placements grow their managed span before the
+/// driver initializes, mirroring `proptests.rs`.
+pub fn assert_permutation_invariant(
+    cfg: &EngineConfig,
+    graph: &CsrGraph,
+    weights: &[u32],
+    src: u32,
+    plan: &LayoutPlan,
+    tag: &str,
+) {
+    let relabeled = plan.apply(graph);
+    let relabeled_weights = plan.apply_edge_data(graph, weights);
+    let mut base = Engine::load(cfg.clone(), graph);
+    let mut permuted = Engine::load(cfg.clone(), &relabeled);
+
+    let b = base.sssp(weights, src);
+    let p = permuted.sssp(&relabeled_weights, plan.map_vertex(src));
+    assert_eq!(plan.unmap_values(&p.dist), b.dist, "{tag}: sssp distances");
+    assert_eq!(
+        p.stats.kernel_launches, b.stats.kernel_launches,
+        "{tag}: sssp iterations"
+    );
+
+    let b = base.bfs(src);
+    let p = permuted.bfs(plan.map_vertex(src));
+    assert_eq!(plan.unmap_values(&p.levels), b.levels, "{tag}: bfs levels");
+    assert_eq!(
+        p.stats.kernel_launches, b.stats.kernel_launches,
+        "{tag}: bfs iterations"
+    );
+
+    let b = base.cc();
+    let p = permuted.cc();
+    assert_eq!(
+        plan.unmap_components(&p.comp),
+        b.comp,
+        "{tag}: cc components"
+    );
+
+    let b = base.pagerank(0.85, 7);
+    let p = permuted.pagerank(0.85, 7);
+    let bits = |ranks: &[f64]| ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&plan.unmap_values(&p.ranks)),
+        bits(&b.ranks),
+        "{tag}: pagerank ranks"
+    );
+    assert_eq!(
+        p.stats.kernel_launches, b.stats.kernel_launches,
+        "{tag}: pagerank iterations"
+    );
 }

@@ -157,6 +157,36 @@ fn scaling_experiment_produces_table_and_scales() {
 }
 
 #[test]
+fn layout_experiment_produces_table_and_reordering_wins() {
+    let tables = experiments::run("layout", &ctx());
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(t.id, "layout");
+    // 4 programs x 3 layouts; bit-identity across layouts is asserted
+    // inside measure() itself.
+    assert_eq!(t.rows.len(), 12);
+    for row in &t.rows {
+        assert_eq!(row.len(), t.headers.len());
+    }
+    // Assert on the raw measurements, not the table's rounded cells:
+    // for every program at least one reordered layout must beat the
+    // original ids on BOTH cache metrics.
+    let r = experiments::layout::measure(&ctx());
+    for program in ["multi-bfs", "multi-sssp", "cc", "pagerank"] {
+        let base = r.get(program, "original");
+        let improved = ["degree-sorted", "hub-clustered"].iter().any(|layout| {
+            let m = r.get(program, layout);
+            m.l2_hit_rate() > base.l2_hit_rate()
+                && m.coalescing_efficiency() > base.coalescing_efficiency()
+        });
+        assert!(
+            improved,
+            "{program}: no reordered layout beat the original on both metrics"
+        );
+    }
+}
+
+#[test]
 #[should_panic(expected = "unknown experiment id")]
 fn unknown_id_is_rejected() {
     let _ = experiments::run("fig99", &ctx());

@@ -235,6 +235,32 @@ proptest! {
         }
     }
 
+    /// Metamorphic: a random vertex relabeling never changes any
+    /// program's results — sources map in, outputs map back through the
+    /// inverse permutation, bit for bit (the structured cache-aware
+    /// layouts get their own harness in `layout_differential.rs`).
+    #[test]
+    fn random_relabeling_never_changes_results(
+        edges in common::edges(64, 250),
+        src in 0u32..64,
+        perm in common::permutation(64),
+    ) {
+        use emogi_repro::graph::datasets::generate_weights;
+        use emogi_repro::graph::LayoutPlan;
+
+        let g: CsrGraph = common::build_graph(&edges, 64);
+        let w = generate_weights(g.num_edges(), 13);
+        let plan = LayoutPlan::from_perm(perm);
+        common::assert_permutation_invariant(
+            &EngineConfig::emogi_v100(),
+            &g,
+            &w,
+            src,
+            &plan,
+            "random permutation",
+        );
+    }
+
     /// The aligned strategy can only reduce the number of PCIe requests
     /// relative to merged, never increase it, on any graph.
     #[test]

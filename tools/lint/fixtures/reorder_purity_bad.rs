@@ -1,0 +1,15 @@
+// Known-bad: a frontier-reorder sort key derived from live machine
+// state. The key must be a pure function of the immutable layout's
+// address arithmetic — sizing the segment from the simulated clock or
+// breaking ties on the traffic monitor's counters would make frontier
+// order (and with it every coalesced transaction and cache probe)
+// depend on how far the run has progressed, breaking bit-identity with
+// the unreordered engine.
+pub struct Reorder;
+
+impl Reorder {
+    fn segment_key(&self, m: &Machine, start: u64) -> (u64, u64) {
+        let seg = 1 + m.now % 4096; // live clock sizes the segment
+        (self.addr(start) / seg, m.monitor.hot_lines()) // traffic counters order ties
+    }
+}

@@ -1,0 +1,12 @@
+// Known-good: the frontier-reorder key is pure address arithmetic over
+// the immutable layout — the segment size is captured once from the
+// engine configuration at load, ties break on the address itself — so
+// the ordering replays from iteration-start state alone.
+pub struct Reorder;
+
+impl Reorder {
+    fn segment_key(&self, start: u64, segment_bytes: u64) -> (u64, u64) {
+        let addr = self.edge_addr(start);
+        (addr / segment_bytes.max(1), addr)
+    }
+}

@@ -1,0 +1,21 @@
+// Known-bad: grouping the frontier into cache segments with a HashMap
+// and emitting the groups in hash order — the emitted order feeds the
+// coalescer directly, so hash iteration order would leak into every
+// transaction boundary and cache probe of the iteration.
+use std::collections::HashMap;
+
+pub struct Grouper {
+    segments: HashMap<u64, Vec<u32>>,
+}
+
+impl Grouper {
+    pub fn emit(&mut self, out: &mut Vec<u32>) {
+        for (_seg, vs) in self.segments.drain() {
+            out.extend(vs); // hash order escapes into the frontier
+        }
+    }
+
+    pub fn segment_ids(&self) -> Vec<u64> {
+        self.segments.keys().copied().collect()
+    }
+}

@@ -1,0 +1,21 @@
+// Known-good: the real reorder stage never groups through a hash map at
+// all — it sorts the frontier in place by a total (segment, address)
+// key — and any hash-map index used for grouping launders its iteration
+// through an explicit sort before the order can escape.
+use std::collections::HashMap;
+
+pub struct Grouper {
+    segments: HashMap<u64, Vec<u32>>,
+}
+
+impl Grouper {
+    pub fn emit(&mut self, out: &mut Vec<u32>) {
+        let mut ids: Vec<u64> = self.segments.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            if let Some(vs) = self.segments.get(&id) {
+                out.extend(vs);
+            }
+        }
+    }
+}
