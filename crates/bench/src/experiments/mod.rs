@@ -13,6 +13,7 @@ pub mod pagerank;
 pub mod prior;
 pub mod scaling;
 pub mod serve;
+pub mod sla;
 pub mod toy;
 
 use crate::{Context, Table};
@@ -52,6 +53,7 @@ pub const ALL_IDS: &[&str] = &[
     "overlap",
     "layout",
     "serve",
+    "sla",
     "scaling",
 ];
 
@@ -83,6 +85,7 @@ pub fn run(id: &str, ctx: &Context) -> Vec<Table> {
         "overlap" => vec![overlap::overlap(ctx)],
         "layout" => vec![layout::layout(ctx)],
         "serve" => vec![serve::serve(ctx)],
+        "sla" => vec![sla::sla(ctx)],
         "scaling" => vec![scaling::scaling(ctx)],
         other => panic!("unknown experiment id {other:?} (known: {ALL_IDS:?})"),
     }
@@ -112,6 +115,7 @@ pub fn run_all(ctx: &Context) -> Vec<Table> {
     out.push(overlap::overlap(ctx));
     out.push(layout::layout(ctx));
     out.push(serve::serve(ctx));
+    out.push(sla::sla(ctx));
     out.push(scaling::scaling(ctx));
     out
 }

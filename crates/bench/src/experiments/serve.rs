@@ -173,7 +173,7 @@ fn measure_scenario<'g>(
     rows: &mut Vec<Measurement>,
     mut solo: impl FnMut(&mut Engine<'g>, emogi_graph::VertexId) -> (Vec<u32>, RunStats),
     mut submit: impl FnMut(&mut QueryServer<'g>, emogi_graph::VertexId) -> emogi_serve::QueryId,
-    mut take: impl FnMut(emogi_serve::QueryResult) -> (Vec<u32>, RunStats),
+    mut take: impl FnMut(emogi_serve::QueryOutcome) -> (Vec<u32>, RunStats),
 ) {
     eprintln!(
         "  [serve] {} {} ({} queries) ...",

@@ -359,6 +359,15 @@ impl<'g> Engine<'g> {
         self.strategy
     }
 
+    /// Effective host-link payload bandwidth in bytes per simulated
+    /// nanosecond (numerically equal to usable GB/s). The serving
+    /// layer's cost-model admission uses this to convert an estimated
+    /// `iterations × frontier-bytes` workload into simulated time
+    /// before accepting a deadline.
+    pub fn link_bytes_per_ns(&self) -> f64 {
+        self.machine.cfg.pcie.usable_gbps()
+    }
+
     /// Edge-list bytes as placed (the Figure 10 denominator).
     pub fn dataset_bytes(&self) -> u64 {
         let mut b = self.graph.edge_list_bytes(self.layout.elem_bytes);

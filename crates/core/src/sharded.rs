@@ -273,6 +273,22 @@ impl<'g> ShardedEngine<'g> {
         self.group.num_devices()
     }
 
+    /// Aggregate host-link payload bandwidth across the device group,
+    /// bytes per simulated nanosecond: every device fetches over its
+    /// own link, so the group's effective bandwidth is the per-device
+    /// usable rate times the device count. The serving layer's
+    /// cost-model admission uses this like
+    /// [`Engine::link_bytes_per_ns`](crate::Engine::link_bytes_per_ns).
+    pub fn link_bytes_per_ns(&self) -> f64 {
+        let per_device = self
+            .group
+            .machines
+            .first()
+            .map(|m| m.cfg.pcie.usable_gbps())
+            .unwrap_or(0.0);
+        per_device * self.group.num_devices() as f64
+    }
+
     /// The vertex partition shards are derived from.
     pub fn partition(&self) -> &VertexPartition {
         &self.partition

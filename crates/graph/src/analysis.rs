@@ -78,6 +78,120 @@ impl DegreeSummary {
     }
 }
 
+/// A work estimate for one query: expected kernel iterations and the
+/// host-link bytes those iterations move. Produced by [`CostModel`],
+/// consumed by the serving layer's deadline admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostEstimate {
+    /// Expected kernel iterations (BFS levels, relaxation rounds,
+    /// full-sweep passes).
+    pub iterations: u64,
+    /// Expected host→GPU payload bytes across all iterations.
+    pub bytes: u64,
+}
+
+impl CostEstimate {
+    /// Convert the estimate into simulated time: transfer time at
+    /// `bytes_per_ns` of link bandwidth plus a fixed `per_iteration_ns`
+    /// overhead (launch + vertex scan) per iteration.
+    pub fn ns(&self, bytes_per_ns: f64, per_iteration_ns: u64) -> u64 {
+        let transfer = if bytes_per_ns > 0.0 {
+            (self.bytes as f64 / bytes_per_ns).ceil() as u64
+        } else {
+            u64::MAX
+        };
+        transfer.saturating_add(self.iterations.saturating_mul(per_iteration_ns))
+    }
+}
+
+/// Admission-control cost model: degree-distribution statistics plus a
+/// reachable-set heuristic, compressed into per-query work estimates.
+///
+/// The model is deliberately coarse — it exists to answer "can this
+/// query possibly meet its deadline?" *before* running it, not to
+/// predict runtimes. Two heuristics drive it:
+///
+/// * **reachable set** — isolated vertices can never be reached, so a
+///   traversal from any connected source is expected to touch the
+///   non-isolated vertex set and cross (roughly) every edge once;
+/// * **depth** — on a random-ish graph the frontier grows by the
+///   average reachable degree per level, so the expected iteration
+///   count is `log(reachable) / log(avg_degree)` (plus slack); for
+///   near-chain graphs (average degree ≤ the growth threshold) the
+///   depth degenerates toward the reachable-vertex count.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    num_edges: u64,
+    reachable_vertices: u64,
+    est_depth: u64,
+}
+
+impl CostModel {
+    /// Build the model from one pass over the degree array.
+    pub fn new(g: &CsrGraph) -> Self {
+        let isolated = (0..g.num_vertices())
+            .filter(|&v| g.degree(v as u32) == 0)
+            .count() as u64;
+        let reachable = g.num_vertices() as u64 - isolated;
+        let avg = if reachable == 0 {
+            0.0
+        } else {
+            g.num_edges() as f64 / reachable as f64
+        };
+        let est_depth = if reachable <= 1 {
+            1
+        } else if avg > 1.5 {
+            ((reachable as f64).ln() / avg.ln()).ceil() as u64 + 2
+        } else {
+            reachable
+        };
+        Self {
+            num_edges: g.num_edges() as u64,
+            reachable_vertices: reachable,
+            est_depth: est_depth.clamp(1, reachable.max(1)),
+        }
+    }
+
+    /// Expected iteration count of a frontier traversal (the depth
+    /// heuristic).
+    pub fn est_depth(&self) -> u64 {
+        self.est_depth
+    }
+
+    /// Vertices with at least one edge (the reachable-set heuristic's
+    /// upper bound on any traversal).
+    pub fn reachable_vertices(&self) -> u64 {
+        self.reachable_vertices
+    }
+
+    /// Estimate a frontier-driven traversal from a source of degree
+    /// `src_degree`, moving `elem_bytes` per edge element: expected
+    /// depth iterations crossing the reachable edge set once. An
+    /// isolated source terminates after one empty-frontier iteration.
+    pub fn frontier_cost(&self, src_degree: u64, elem_bytes: u64) -> CostEstimate {
+        if src_degree == 0 {
+            return CostEstimate {
+                iterations: 1,
+                bytes: elem_bytes,
+            };
+        }
+        CostEstimate {
+            iterations: self.est_depth,
+            bytes: self.num_edges.saturating_mul(elem_bytes),
+        }
+    }
+
+    /// Estimate a full-sweep analytic: `passes` sweeps over the whole
+    /// edge list at `elem_bytes` per element.
+    pub fn full_sweep_cost(&self, passes: u64, elem_bytes: u64) -> CostEstimate {
+        let passes = passes.max(1);
+        CostEstimate {
+            iterations: passes,
+            bytes: passes.saturating_mul(self.num_edges.saturating_mul(elem_bytes)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +252,53 @@ mod tests {
         assert_eq!(s.isolated_vertices, 0);
         let empty = CsrGraph::empty(3);
         assert_eq!(DegreeSummary::new(&empty).isolated_vertices, 3);
+    }
+
+    #[test]
+    fn cost_model_depth_tracks_graph_shape() {
+        // Dense random graph: logarithmic depth, far below n.
+        let dense = generators::uniform_random(2_000, 16, 3);
+        let m = CostModel::new(&dense);
+        assert!(m.est_depth() >= 3, "depth {}", m.est_depth());
+        assert!(m.est_depth() < 64, "depth {}", m.est_depth());
+        // Below the growth threshold (a perfect matching, average
+        // degree 1) the depth degenerates to the reachable-vertex
+        // count.
+        let mut b = EdgeListBuilder::new(64).symmetrize(true);
+        for v in 0..32 {
+            b.push(2 * v, 2 * v + 1);
+        }
+        let sparse = CostModel::new(&b.build());
+        assert_eq!(sparse.est_depth(), 64);
+    }
+
+    #[test]
+    fn cost_model_charges_reachable_edges_and_spares_isolated_sources() {
+        let g = star_plus_path();
+        let m = CostModel::new(&g);
+        assert_eq!(m.reachable_vertices(), 7);
+        let c = m.frontier_cost(4, 8);
+        assert_eq!(c.bytes, g.num_edges() as u64 * 8);
+        assert!(c.iterations >= 1);
+        let isolated = m.frontier_cost(0, 8);
+        assert_eq!(isolated.iterations, 1);
+        assert!(isolated.bytes < c.bytes);
+        // Full sweeps scale linearly in passes.
+        let one = m.full_sweep_cost(1, 8);
+        let five = m.full_sweep_cost(5, 8);
+        assert_eq!(five.bytes, one.bytes * 5);
+        assert_eq!(five.iterations, 5);
+    }
+
+    #[test]
+    fn cost_estimate_converts_to_time() {
+        let c = CostEstimate {
+            iterations: 4,
+            bytes: 1_000,
+        };
+        // 10 bytes/ns → 100 ns transfer + 4 × 50 ns overhead.
+        assert_eq!(c.ns(10.0, 50), 300);
+        assert_eq!(c.ns(0.0, 50), u64::MAX, "no link, no deadline met");
     }
 
     #[test]

@@ -1,23 +1,82 @@
-//! Query descriptions, handles and results.
+//! Query descriptions, QoS classes, handles, results and outcomes.
 
-use emogi_core::{BfsOutput, Run, SsspOutput};
+use emogi_core::{BfsOutput, CcOutput, PageRankOutput, Run, SsspOutput};
 use emogi_graph::VertexId;
 use std::sync::Arc;
 
 /// Opaque handle returned by
-/// [`QueryServer::submit`](crate::QueryServer::submit); redeem it with
-/// [`QueryServer::take`](crate::QueryServer::take) once the query ran.
+/// [`Server::submit`](crate::Server::submit); redeem it with
+/// [`Server::take`](crate::Server::take) once the query ran, or revoke
+/// it with [`Server::cancel`](crate::Server::cancel) while it is still
+/// pending.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct QueryId(pub(crate) u64);
 
-/// A frontier-driven query against the server's shared placement.
+impl QueryId {
+    /// Build a handle from its raw submission number. Handles are plain
+    /// sequence numbers, not capabilities; this exists so the standalone
+    /// scheduler ([`plan_batches`](crate::scheduler::plan_batches)) can
+    /// be driven — and property-tested — outside the server.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw submission number (0 for a server's first admitted
+    /// query, then counting up).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Scheduling class of a query. The scheduler never lets a [`Bulk`]
+/// query delay a [`Latency`] one: priority is compared before any
+/// deadline.
 ///
-/// Only frontier-driven programs batch (their per-iteration frontiers
-/// merge); full-sweep analytics (CC, PageRank) read the whole edge list
-/// every launch anyway and run solo via
-/// [`Engine`](emogi_core::Engine) directly.
+/// [`Bulk`]: Priority::Bulk
+/// [`Latency`]: Priority::Latency
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Interactive traffic: scheduled ahead of all bulk work.
+    Latency,
+    /// Throughput traffic (the default): scheduled after latency work,
+    /// earliest deadline first.
+    #[default]
+    Bulk,
+}
+
+impl Priority {
+    /// Scheduling rank; lower runs earlier.
+    pub(crate) fn rank(self) -> u8 {
+        match self {
+            Priority::Latency => 0,
+            Priority::Bulk => 1,
+        }
+    }
+}
+
+/// Per-query quality-of-service contract.
+///
+/// `deadline_ns` is a *budget on the server's simulated clock*, counted
+/// from admission: a query submitted at simulated time `t` with budget
+/// `d` must complete by `t + d`. A query that overruns is not silently
+/// served late — it ends [`QueryOutcome::DeadlineMissed`] (it ran, too
+/// late) or [`QueryOutcome::DeadlineCancelled`] (it expired while still
+/// queued and never ran). The default QoS (bulk, no deadline) schedules
+/// exactly like the pre-QoS FIFO server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QoS {
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Completion budget on the simulated clock, ns from admission;
+    /// `None` means the query may take arbitrarily long (subject to the
+    /// server-wide [`query_budget_ns`](crate::ServerConfig::query_budget_ns)).
+    pub deadline_ns: Option<u64>,
+}
+
+/// What a query computes: a frontier-driven traversal from a source, or
+/// a solo full-sweep analytic over the whole graph.
 #[derive(Debug, Clone)]
-pub enum Query {
+pub enum QuerySpec {
     /// Breadth-first search from a source vertex.
     Bfs {
         /// The BFS root.
@@ -32,52 +91,153 @@ pub enum Query {
         /// same weight assignment.
         weights: Arc<Vec<u32>>,
     },
+    /// Connected components over the whole graph (full sweep, runs
+    /// solo).
+    Cc,
+    /// PageRank over the whole graph (full sweep, runs solo).
+    PageRank {
+        /// Damping factor (the usual 0.85).
+        damping: f64,
+        /// Power iterations to run.
+        iterations: u32,
+    },
+}
+
+/// A query against the server's shared placement: a [`QuerySpec`] plus
+/// its [`QoS`] contract.
+///
+/// Only frontier-driven specs (BFS, SSSP) batch — their per-iteration
+/// frontiers merge into one [`Engine::run_batch`](emogi_core::Engine::run_batch)
+/// call. Full-sweep analytics (CC, PageRank) read the whole edge list
+/// every launch anyway, so the scheduler runs them solo, but they pass
+/// through the same admission, accounting and deadline machinery.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// What to compute.
+    pub spec: QuerySpec,
+    /// How urgently to compute it.
+    pub qos: QoS,
 }
 
 impl Query {
-    /// A BFS query from `src`.
+    /// A BFS query from `src` with default QoS (bulk, no deadline).
     pub fn bfs(src: VertexId) -> Self {
-        Query::Bfs { src }
+        Self {
+            spec: QuerySpec::Bfs { src },
+            qos: QoS::default(),
+        }
     }
 
-    /// An SSSP query from `src` over `weights`.
+    /// An SSSP query from `src` over `weights` with default QoS.
     pub fn sssp(src: VertexId, weights: Arc<Vec<u32>>) -> Self {
-        Query::Sssp { src, weights }
+        Self {
+            spec: QuerySpec::Sssp { src, weights },
+            qos: QoS::default(),
+        }
+    }
+
+    /// A connected-components query with default QoS.
+    pub fn cc() -> Self {
+        Self {
+            spec: QuerySpec::Cc,
+            qos: QoS::default(),
+        }
+    }
+
+    /// A PageRank query with default QoS.
+    pub fn pagerank(damping: f64, iterations: u32) -> Self {
+        Self {
+            spec: QuerySpec::PageRank {
+                damping,
+                iterations,
+            },
+            qos: QoS::default(),
+        }
+    }
+
+    /// Replace the whole QoS contract.
+    pub fn with_qos(mut self, qos: QoS) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Set the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.qos.priority = priority;
+        self
+    }
+
+    /// Set the completion budget (simulated ns from admission).
+    pub fn with_deadline_ns(mut self, deadline_ns: u64) -> Self {
+        self.qos.deadline_ns = Some(deadline_ns);
+        self
     }
 
     /// The compatibility kind the scheduler groups by.
     pub fn kind(&self) -> QueryKind {
-        match self {
-            Query::Bfs { .. } => QueryKind::Bfs,
-            Query::Sssp { .. } => QueryKind::Sssp,
+        match &self.spec {
+            QuerySpec::Bfs { .. } => QueryKind::Bfs,
+            QuerySpec::Sssp { .. } => QueryKind::Sssp,
+            QuerySpec::Cc => QueryKind::Cc,
+            QuerySpec::PageRank { .. } => QueryKind::PageRank,
         }
     }
 
-    /// The query's source vertex.
-    pub fn src(&self) -> VertexId {
-        match self {
-            Query::Bfs { src } | Query::Sssp { src, .. } => *src,
+    /// The query's source vertex; `None` for full-sweep analytics.
+    pub fn src(&self) -> Option<VertexId> {
+        match &self.spec {
+            QuerySpec::Bfs { src } | QuerySpec::Sssp { src, .. } => Some(*src),
+            QuerySpec::Cc | QuerySpec::PageRank { .. } => None,
         }
     }
 }
 
 /// Program type of a query — the scheduler's compatibility key: only
 /// queries of the same kind (and, by construction of a server, the same
-/// graph and placement) share a [`QueryBatch`](crate::QueryBatch).
+/// graph and placement) share a batch, and only
+/// [`batchable`](Self::batchable) kinds share at all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryKind {
     /// Breadth-first search.
     Bfs,
     /// Single-source shortest paths.
     Sssp,
+    /// Connected components (full sweep).
+    Cc,
+    /// PageRank (full sweep).
+    PageRank,
 }
 
 impl QueryKind {
+    /// Number of kinds (array-index bound for per-kind scheduler state).
+    pub(crate) const COUNT: usize = 4;
+
+    /// Dense index for per-kind scheduler state.
+    pub(crate) fn slot(self) -> usize {
+        match self {
+            QueryKind::Bfs => 0,
+            QueryKind::Sssp => 1,
+            QueryKind::Cc => 2,
+            QueryKind::PageRank => 3,
+        }
+    }
+
+    /// Whether queries of this kind share a batch. Frontier-driven
+    /// kinds batch (their frontiers merge); full-sweep kinds run solo.
+    pub fn batchable(self) -> bool {
+        match self {
+            QueryKind::Bfs | QueryKind::Sssp => true,
+            QueryKind::Cc | QueryKind::PageRank => false,
+        }
+    }
+
     /// Human-readable name.
     pub fn name(self) -> &'static str {
         match self {
             QueryKind::Bfs => "BFS",
             QueryKind::Sssp => "SSSP",
+            QueryKind::Cc => "CC",
+            QueryKind::PageRank => "PageRank",
         }
     }
 }
@@ -94,6 +254,10 @@ pub enum QueryResult {
     Bfs(Run<BfsOutput>),
     /// A finished SSSP.
     Sssp(Run<SsspOutput>),
+    /// A finished connected-components sweep.
+    Cc(Run<CcOutput>),
+    /// A finished PageRank sweep.
+    PageRank(Run<PageRankOutput>),
 }
 
 impl QueryResult {
@@ -102,6 +266,8 @@ impl QueryResult {
         match self {
             QueryResult::Bfs(_) => QueryKind::Bfs,
             QueryResult::Sssp(_) => QueryKind::Sssp,
+            QueryResult::Cc(_) => QueryKind::Cc,
+            QueryResult::PageRank(_) => QueryKind::PageRank,
         }
     }
 
@@ -110,6 +276,8 @@ impl QueryResult {
         match self {
             QueryResult::Bfs(r) => &r.stats,
             QueryResult::Sssp(r) => &r.stats,
+            QueryResult::Cc(r) => &r.stats,
+            QueryResult::PageRank(r) => &r.stats,
         }
     }
 
@@ -128,13 +296,141 @@ impl QueryResult {
             other => panic!("expected an SSSP result, got {:?}", other.kind()),
         }
     }
+
+    /// Unwrap a connected-components result; panics on a different kind.
+    pub fn into_cc(self) -> Run<CcOutput> {
+        match self {
+            QueryResult::Cc(r) => r,
+            other => panic!("expected a CC result, got {:?}", other.kind()),
+        }
+    }
+
+    /// Unwrap a PageRank result; panics on a different kind.
+    pub fn into_pagerank(self) -> Run<PageRankOutput> {
+        match self {
+            QueryResult::PageRank(r) => r,
+            other => panic!("expected a PageRank result, got {:?}", other.kind()),
+        }
+    }
+}
+
+/// Terminal state of an admitted query, redeemed once via
+/// [`Server::take`](crate::Server::take).
+///
+/// The full lifecycle is: `submitted → pending → {served | deadline
+/// missed | deadline cancelled}`, or `pending → cancelled` via an
+/// explicit [`Server::cancel`](crate::Server::cancel) (which frees the
+/// queue slot immediately and stores no outcome).
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// The query ran and completed within its deadline (or had none).
+    Served {
+        /// The program output and run measurements.
+        result: QueryResult,
+        /// Simulated server-clock time at completion, ns.
+        completed_ns: u64,
+    },
+    /// The query ran but completed after its deadline had passed.
+    DeadlineMissed {
+        /// The (still correct) program output and run measurements.
+        result: QueryResult,
+        /// Simulated server-clock time at completion, ns.
+        completed_ns: u64,
+        /// The absolute deadline it missed, ns on the server clock.
+        deadline_ns: u64,
+    },
+    /// The query's deadline expired while it was still queued; it never
+    /// ran and has no result.
+    DeadlineCancelled {
+        /// The absolute deadline that expired, ns on the server clock.
+        deadline_ns: u64,
+    },
+}
+
+impl QueryOutcome {
+    /// Whether the query completed within its contract.
+    pub fn is_served(&self) -> bool {
+        matches!(self, QueryOutcome::Served { .. })
+    }
+
+    /// The result, if the query executed (served or late); `None` for a
+    /// deadline-cancelled query.
+    pub fn result(&self) -> Option<&QueryResult> {
+        match self {
+            QueryOutcome::Served { result, .. } | QueryOutcome::DeadlineMissed { result, .. } => {
+                Some(result)
+            }
+            QueryOutcome::DeadlineCancelled { .. } => None,
+        }
+    }
+
+    /// Consume into the result, if the query executed.
+    pub fn into_result(self) -> Option<QueryResult> {
+        match self {
+            QueryOutcome::Served { result, .. } | QueryOutcome::DeadlineMissed { result, .. } => {
+                Some(result)
+            }
+            QueryOutcome::DeadlineCancelled { .. } => None,
+        }
+    }
+
+    /// Simulated completion time, ns; `None` if the query never ran.
+    pub fn completed_ns(&self) -> Option<u64> {
+        match self {
+            QueryOutcome::Served { completed_ns, .. }
+            | QueryOutcome::DeadlineMissed { completed_ns, .. } => Some(*completed_ns),
+            QueryOutcome::DeadlineCancelled { .. } => None,
+        }
+    }
+
+    /// The executed run's measurements; panics if the query was
+    /// deadline-cancelled before running.
+    pub fn stats(&self) -> &emogi_runtime::RunStats {
+        self.result()
+            .expect("deadline-cancelled query has no run stats")
+            .stats()
+    }
+
+    /// Unwrap an executed BFS run; panics on a different kind or a
+    /// deadline-cancelled query.
+    pub fn into_bfs(self) -> Run<BfsOutput> {
+        self.into_result()
+            .expect("deadline-cancelled query has no result")
+            .into_bfs()
+    }
+
+    /// Unwrap an executed SSSP run; panics on a different kind or a
+    /// deadline-cancelled query.
+    pub fn into_sssp(self) -> Run<SsspOutput> {
+        self.into_result()
+            .expect("deadline-cancelled query has no result")
+            .into_sssp()
+    }
+
+    /// Unwrap an executed connected-components run; panics on a
+    /// different kind or a deadline-cancelled query.
+    pub fn into_cc(self) -> Run<CcOutput> {
+        self.into_result()
+            .expect("deadline-cancelled query has no result")
+            .into_cc()
+    }
+
+    /// Unwrap an executed PageRank run; panics on a different kind or a
+    /// deadline-cancelled query.
+    pub fn into_pagerank(self) -> Run<PageRankOutput> {
+        self.into_result()
+            .expect("deadline-cancelled query has no result")
+            .into_pagerank()
+    }
 }
 
 /// Why the server refused a submission (admission control).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The pending queue is at its configured capacity; retry after
-    /// [`run_pending`](crate::QueryServer::run_pending).
+    /// Outstanding queries (pending + unredeemed results) are at the
+    /// configured capacity; retry after
+    /// [`run_pending`](crate::Server::run_pending) **and** redeeming
+    /// finished queries with [`take`](crate::Server::take).
     QueueFull {
         /// The configured queue capacity.
         capacity: usize,
@@ -153,13 +449,23 @@ pub enum SubmitError {
         /// Edges in the graph.
         want: usize,
     },
+    /// The cost model's work estimate for the query exceeds its
+    /// deadline budget: it would be admitted only to miss. Raise the
+    /// budget or drop the deadline.
+    OverBudget {
+        /// Estimated completion time, simulated ns.
+        estimated_ns: u64,
+        /// The query's budget (its own deadline, or the server-wide
+        /// default), simulated ns.
+        budget_ns: u64,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::QueueFull { capacity } => {
-                write!(f, "pending queue full ({capacity} queries)")
+                write!(f, "outstanding queries at capacity ({capacity})")
             }
             SubmitError::SourceOutOfRange { src, num_vertices } => {
                 write!(
@@ -170,32 +476,45 @@ impl std::fmt::Display for SubmitError {
             SubmitError::WeightCountMismatch { got, want } => {
                 write!(f, "got {got} weights for {want} edges")
             }
+            SubmitError::OverBudget {
+                estimated_ns,
+                budget_ns,
+            } => {
+                write!(
+                    f,
+                    "estimated {estimated_ns} ns exceeds deadline budget {budget_ns} ns"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
 
-/// Shared admission control for every server front end: bound the
-/// pending queue, check the source range, and require one weight per
-/// edge for SSSP. `pending` is the queue depth *before* this query.
+/// Shared structural admission control for every server front end:
+/// bound the outstanding queries (pending **plus** unredeemed results —
+/// `outstanding` is that total *before* this query), check the source
+/// range, and require one weight per edge for SSSP. Deadline-budget
+/// admission is layered on top by [`Server::submit`](crate::Server::submit).
 pub(crate) fn admit(
     graph: &emogi_graph::CsrGraph,
-    pending: usize,
+    outstanding: usize,
     capacity: usize,
     query: &Query,
 ) -> Result<(), SubmitError> {
-    if pending >= capacity {
+    if outstanding >= capacity {
         return Err(SubmitError::QueueFull { capacity });
     }
     let nv = graph.num_vertices();
-    if query.src() as usize >= nv {
-        return Err(SubmitError::SourceOutOfRange {
-            src: query.src(),
-            num_vertices: nv,
-        });
+    if let Some(src) = query.src() {
+        if src as usize >= nv {
+            return Err(SubmitError::SourceOutOfRange {
+                src,
+                num_vertices: nv,
+            });
+        }
     }
-    if let Query::Sssp { weights, .. } = query {
+    if let QuerySpec::Sssp { weights, .. } = &query.spec {
         let want = graph.num_edges();
         if weights.len() != want {
             return Err(SubmitError::WeightCountMismatch {

@@ -1,13 +1,28 @@
 //! The compatibility scheduler: group pending queries into batches.
 //!
-//! A [`QueryBatch`] holds queries that can execute as one
-//! [`Engine::run_batch`](emogi_core::Engine::run_batch) call: same
-//! program kind — and, because a server owns exactly one engine, the
-//! same graph and placement. Scheduling is FIFO-fair and greedy: the
-//! oldest pending query anchors the batch, then every other pending
-//! query of the same kind joins in submission order until the batch cap
-//! is reached. Queries of other kinds keep their queue positions, so a
-//! burst of one kind cannot starve the other.
+//! Two layers share one batching rule (kind-pure groups, capped size,
+//! full-sweep kinds solo):
+//!
+//! * [`next_batch`] is the original FIFO-fair primitive over a plain
+//!   `(QueryId, Query)` queue: the oldest pending query anchors the
+//!   batch, then every other pending query of the same kind joins in
+//!   submission order until the cap. Queries of other kinds keep their
+//!   queue positions, so a burst of one kind cannot starve the other.
+//! * [`plan_batches`] is the SLA scheduler the servers run on: it
+//!   orders [`Pending`] entries by a deterministic
+//!   earliest-deadline-first-within-priority key ([`sched_key`]) —
+//!   latency class before bulk, earlier absolute deadline first,
+//!   submission id breaking every tie — and forms batches behind each
+//!   anchor exactly like repeated [`next_batch`] selection would, in
+//!   one `O(n log n)` pass. Under [`SchedPolicy::Fifo`] (or when every
+//!   query carries the default QoS) the key degenerates to the
+//!   submission id and the plan is exactly the FIFO-fair plan.
+//!
+//! Both layers are pure functions of queue state: no wall clock, no
+//! randomness — deadlines are absolute points on the *server's
+//! simulated clock*, assigned at admission. `emogi-lint`'s
+//! `ambient-nondet` rule (see `tools/lint/fixtures/deadline_clock_bad.rs`)
+//! guards exactly this property.
 
 use crate::query::{Query, QueryId, QueryKind};
 use std::collections::VecDeque;
@@ -36,25 +51,129 @@ impl QueryBatch {
 /// Pop the next batch off `queue`: the oldest query plus up to
 /// `max_batch - 1` later queries of the same kind, preserving order.
 /// Returns `None` when the queue is empty.
+///
+/// Single pass: each element is popped once and either joins the batch
+/// or rotates back to the queue's tail, so the survivors keep their
+/// relative order in place — no rebuild allocation, and a full drain
+/// via repeated calls moves each element O(batches-per-drain) times
+/// instead of the O(n) per call a rebuild costs.
 pub fn next_batch(queue: &mut VecDeque<(QueryId, Query)>, max_batch: usize) -> Option<QueryBatch> {
     let max_batch = max_batch.max(1);
     let kind = queue.front()?.1.kind();
     let mut queries = Vec::new();
-    let mut rest = VecDeque::with_capacity(queue.len());
-    while let Some((id, q)) = queue.pop_front() {
+    for _ in 0..queue.len() {
+        let (id, q) = queue.pop_front().expect("iterating within queue length");
         if q.kind() == kind && queries.len() < max_batch {
             queries.push((id, q));
         } else {
-            rest.push_back((id, q));
+            queue.push_back((id, q));
         }
     }
-    *queue = rest;
     Some(QueryBatch { kind, queries })
+}
+
+/// How a server orders its pending queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedPolicy {
+    /// Earliest-deadline-first within priority class (the default):
+    /// latency before bulk, earlier deadline first, submission id
+    /// breaking ties. With all-default QoS this is identical to
+    /// [`Fifo`](Self::Fifo).
+    #[default]
+    Edf,
+    /// Pure submission order, ignoring priority and deadlines — the
+    /// pre-QoS behaviour, kept as the baseline the `sla` bench
+    /// experiment compares against.
+    Fifo,
+}
+
+/// One admitted, not-yet-executed query: the scheduler's unit of work.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// The submission handle (also the scheduling tie-breaker).
+    pub id: QueryId,
+    /// The query itself.
+    pub query: Query,
+    /// Absolute deadline on the server's simulated clock, ns
+    /// (admission clock + the query's budget); `None` = no deadline.
+    pub deadline_ns: Option<u64>,
+}
+
+/// The deterministic scheduling key: `(priority rank, absolute
+/// deadline, submission id)`, compared lexicographically, smaller runs
+/// earlier. No-deadline queries sort after every dated one of the same
+/// class; under [`SchedPolicy::Fifo`] the first two components collapse
+/// so only submission order remains. Ids are unique, so the order is
+/// total and scheduling is a pure function of queue state.
+pub fn sched_key(policy: SchedPolicy, p: &Pending) -> (u8, u64, u64) {
+    match policy {
+        SchedPolicy::Fifo => (0, 0, p.id.0),
+        SchedPolicy::Edf => (
+            p.query.qos.priority.rank(),
+            p.deadline_ns.unwrap_or(u64::MAX),
+            p.id.0,
+        ),
+    }
+}
+
+/// A planned batch: kind-pure, members in scheduling-key order, first
+/// member the anchor.
+#[derive(Debug, Clone)]
+pub struct SlaBatch {
+    /// The common program kind.
+    pub kind: QueryKind,
+    /// Members in [`sched_key`] order; `entries[0]` is the anchor.
+    pub entries: Vec<Pending>,
+}
+
+/// Plan a full drain of `pending`: order by [`sched_key`], then chunk
+/// each kind's ordered subsequence at the batch cap (1 for
+/// non-[`batchable`](QueryKind::batchable) kinds), and emit the batches
+/// in anchor-key order.
+///
+/// This is exactly the plan that repeated anchor selection produces —
+/// pick the minimum-key entry, fill behind it with the smallest
+/// same-kind keys up to the cap, repeat — computed in one sort + one
+/// pass. Invariants (property-tested in `tests/sla_proptests.rs`):
+/// batches are kind-pure, respect the cap, anchors appear in
+/// non-decreasing key order, members within a batch are in key order,
+/// and every input entry lands in exactly one batch.
+pub fn plan_batches(
+    mut pending: Vec<Pending>,
+    policy: SchedPolicy,
+    max_batch: usize,
+) -> Vec<SlaBatch> {
+    let max_batch = max_batch.max(1);
+    pending.sort_by_key(|p| sched_key(policy, p));
+    let mut open: [Option<usize>; QueryKind::COUNT] = [None; QueryKind::COUNT];
+    let mut batches: Vec<SlaBatch> = Vec::new();
+    for p in pending {
+        let kind = p.query.kind();
+        let cap = if kind.batchable() { max_batch } else { 1 };
+        let idx = match open[kind.slot()] {
+            Some(i) if batches[i].entries.len() < cap => i,
+            _ => {
+                batches.push(SlaBatch {
+                    kind,
+                    entries: Vec::with_capacity(cap.min(16)),
+                });
+                open[kind.slot()] = Some(batches.len() - 1);
+                batches.len() - 1
+            }
+        };
+        batches[idx].entries.push(p);
+    }
+    // Anchor order = execution order: each batch's first member carries
+    // its smallest key, and keys are unique, so this matches repeated
+    // minimum-key anchor selection.
+    batches.sort_by_key(|b| sched_key(policy, &b.entries[0]));
+    batches
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::Priority;
     use std::sync::Arc;
 
     fn q(id: u64, query: Query) -> (QueryId, Query) {
@@ -150,5 +269,123 @@ mod tests {
         assert_eq!(b.kind, QueryKind::Sssp);
         assert_eq!(b.len(), 2);
         assert_eq!(queue.front().unwrap().0, QueryId(1));
+    }
+
+    fn pending(id: u64, query: Query, deadline_ns: Option<u64>) -> Pending {
+        Pending {
+            id: QueryId(id),
+            query,
+            deadline_ns,
+        }
+    }
+
+    fn ids(b: &SlaBatch) -> Vec<u64> {
+        b.entries.iter().map(|p| p.id.0).collect()
+    }
+
+    #[test]
+    fn edf_orders_by_priority_then_deadline_then_id() {
+        // Bulk with an early deadline still yields to latency class;
+        // within a class earlier deadlines run first; no-deadline
+        // queries run last, in submission order.
+        let plan = plan_batches(
+            vec![
+                pending(0, Query::bfs(0), None),
+                pending(1, Query::bfs(1).with_deadline_ns(50), Some(50)),
+                pending(
+                    2,
+                    Query::bfs(2)
+                        .with_priority(Priority::Latency)
+                        .with_deadline_ns(900),
+                    Some(900),
+                ),
+                pending(3, Query::bfs(3).with_deadline_ns(10), Some(10)),
+            ],
+            SchedPolicy::Edf,
+            2,
+        );
+        assert_eq!(plan.len(), 2);
+        assert_eq!(ids(&plan[0]), vec![2, 3], "latency anchor, then best bulk");
+        assert_eq!(ids(&plan[1]), vec![1, 0]);
+    }
+
+    #[test]
+    fn full_sweep_kinds_never_share_a_batch() {
+        let plan = plan_batches(
+            vec![
+                pending(0, Query::cc(), None),
+                pending(1, Query::cc(), None),
+                pending(2, Query::pagerank(0.85, 3), None),
+                pending(3, Query::bfs(0), None),
+                pending(4, Query::bfs(1), None),
+            ],
+            SchedPolicy::Edf,
+            16,
+        );
+        let sizes: Vec<(QueryKind, usize)> =
+            plan.iter().map(|b| (b.kind, b.entries.len())).collect();
+        assert_eq!(
+            sizes,
+            vec![
+                (QueryKind::Cc, 1),
+                (QueryKind::Cc, 1),
+                (QueryKind::PageRank, 1),
+                (QueryKind::Bfs, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn fifo_plan_matches_repeated_next_batch_on_a_large_mixed_queue() {
+        // Dedicated regression test for the quadratic-drain fix: the
+        // one-pass plan must equal the batch sequence the original
+        // repeated-selection primitive produces, on a queue large
+        // enough that a rebuild-per-call drain would be visibly
+        // quadratic.
+        let n = 4_096u64;
+        let entries: Vec<Pending> = (0..n)
+            .map(|i| {
+                let query = match i % 3 {
+                    0 => Query::bfs((i % 97) as u32),
+                    1 => Query::sssp((i % 89) as u32, weights()),
+                    _ => Query::bfs((i % 53) as u32),
+                };
+                pending(i, query, None)
+            })
+            .collect();
+        let mut queue: VecDeque<(QueryId, Query)> =
+            entries.iter().map(|p| (p.id, p.query.clone())).collect();
+        let plan = plan_batches(entries, SchedPolicy::Fifo, 7);
+        let mut i = 0;
+        while let Some(b) = next_batch(&mut queue, 7) {
+            assert_eq!(b.kind, plan[i].kind, "batch {i} kind");
+            assert_eq!(
+                b.queries.iter().map(|(id, _)| id.0).collect::<Vec<_>>(),
+                ids(&plan[i]),
+                "batch {i} members"
+            );
+            i += 1;
+        }
+        assert_eq!(i, plan.len(), "same number of batches");
+    }
+
+    #[test]
+    fn default_qos_edf_plan_equals_fifo_plan() {
+        let entries: Vec<Pending> = (0..64u64)
+            .map(|i| {
+                let query = if i % 2 == 0 {
+                    Query::bfs(i as u32)
+                } else {
+                    Query::sssp(i as u32, weights())
+                };
+                pending(i, query, None)
+            })
+            .collect();
+        let edf = plan_batches(entries.clone(), SchedPolicy::Edf, 5);
+        let fifo = plan_batches(entries, SchedPolicy::Fifo, 5);
+        let shape = |plan: &[SlaBatch]| -> Vec<(QueryKind, Vec<u64>)> {
+            plan.iter().map(|b| (b.kind, ids(b))).collect()
+        };
+        assert_eq!(shape(&edf), shape(&fifo));
     }
 }

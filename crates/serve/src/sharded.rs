@@ -1,162 +1,48 @@
 //! The device-group-aware serving path: queries over a
-//! [`ShardedEngine`].
+//! [`ShardedEngine`](emogi_core::sharded::ShardedEngine).
 //!
 //! [`QueryServer`](crate::QueryServer) accelerates concurrent queries by
 //! *batching* them on one device (overlapping frontiers share PCIe cache
-//! lines); a [`ShardedServer`] instead accelerates **each** query by
-//! sharding its iterations across every device of a group — the right
-//! trade when individual query latency matters, or when one GPU's link
-//! is the bottleneck. Admission control ([`SubmitError`]) and the
-//! FIFO-fair compatibility scheduler ([`next_batch`]) are shared with
-//! the single-device server, so a workload can move between the two
-//! paths without changing its submission code: scheduler groups form
-//! exactly the same way, and each group's queries execute back-to-back
-//! on the sharded engine.
+//! lines); a [`ShardedServer`](crate::ShardedServer) instead accelerates
+//! **each** query by sharding its iterations across every device of a
+//! group — the right trade when individual query latency matters, or
+//! when one GPU's link is the bottleneck.
+//!
+//! Both front ends are the *same* [`Server`](crate::Server) type over
+//! different [`ServeBackend`](crate::ServeBackend)s, so admission
+//! control, QoS scheduling, cancellation, deadlines and accounting are
+//! literally shared code — a workload moves between the two paths
+//! without changing its submission logic, and scheduler groups form
+//! exactly the same way. Each group's queries execute back-to-back on
+//! the sharded engine (sharing devices, not fetches).
 //!
 //! Results are bit-identical — outputs and iteration counts — to solo
 //! [`Engine`](emogi_core::Engine) runs of the same queries, because
 //! sharded execution itself is (see [`emogi_core::sharded`]).
-
-use crate::query::{Query, QueryId, QueryResult, SubmitError};
-use crate::scheduler::next_batch;
-use crate::server::{ServerConfig, ServerStats};
-use emogi_core::sharded::ShardedEngine;
-use emogi_core::Run;
-use std::collections::{BTreeMap, VecDeque};
-
-/// A concurrent-query front end over one sharded multi-GPU engine.
-///
-/// ```
-/// use emogi_core::sharded::{ShardedConfig, ShardedEngine};
-/// use emogi_graph::{algo, generators};
-/// use emogi_serve::{Query, ServerConfig, ShardedServer};
-///
-/// let graph = generators::kronecker(9, 8, 21);
-/// let engine = ShardedEngine::load(ShardedConfig::emogi_v100(2), &graph);
-/// let mut server = ShardedServer::new(ServerConfig::default(), engine);
-///
-/// let id = server.submit(Query::bfs(1)).unwrap();
-/// assert_eq!(server.run_pending(), 1);
-/// let run = server.take(id).unwrap().into_bfs();
-/// assert_eq!(run.levels, algo::bfs_levels(&graph, 1));
-/// ```
-pub struct ShardedServer<'g> {
-    engine: ShardedEngine<'g>,
-    cfg: ServerConfig,
-    next_id: u64,
-    pending: VecDeque<(QueryId, Query)>,
-    results: BTreeMap<QueryId, QueryResult>,
-    stats: ServerStats,
-}
-
-impl<'g> ShardedServer<'g> {
-    /// Wrap an already-loaded sharded engine; its device group is the
-    /// shared resource every accepted query runs across.
-    pub fn new(cfg: ServerConfig, engine: ShardedEngine<'g>) -> Self {
-        Self {
-            engine,
-            cfg,
-            next_id: 0,
-            pending: VecDeque::new(),
-            results: BTreeMap::new(),
-            stats: ServerStats::default(),
-        }
-    }
-
-    /// Submit a query; identical admission control to
-    /// [`QueryServer::submit`](crate::QueryServer::submit).
-    pub fn submit(&mut self, query: Query) -> Result<QueryId, SubmitError> {
-        match crate::query::admit(
-            self.engine.graph(),
-            self.pending.len(),
-            self.cfg.queue_capacity,
-            &query,
-        ) {
-            Ok(()) => {
-                let id = QueryId(self.next_id);
-                self.next_id += 1;
-                self.pending.push_back((id, query));
-                self.stats.submitted += 1;
-                Ok(id)
-            }
-            Err(e) => {
-                self.stats.rejected += 1;
-                Err(e)
-            }
-        }
-    }
-
-    /// Queries waiting for execution.
-    pub fn pending(&self) -> usize {
-        self.pending.len()
-    }
-
-    /// Drain the pending queue. The scheduler forms the same FIFO-fair,
-    /// kind-pure groups as the single-device server; each group's
-    /// queries then run back-to-back, every one sharded across the full
-    /// device group (so [`ServerStats::batched_queries`] stays zero —
-    /// this path shares devices, not fetches). Returns the number of
-    /// queries served.
-    pub fn run_pending(&mut self) -> usize {
-        let mut served = 0;
-        while let Some(batch) = next_batch(&mut self.pending, self.cfg.max_batch) {
-            for (id, query) in batch.queries {
-                let result = match query {
-                    Query::Bfs { src } => {
-                        let r = self.engine.bfs(src);
-                        self.stats.busy_ns += r.stats.elapsed_ns;
-                        self.stats.host_bytes += r.stats.host_bytes;
-                        QueryResult::Bfs(Run {
-                            output: r.output,
-                            stats: r.stats,
-                        })
-                    }
-                    Query::Sssp { src, weights } => {
-                        let r = self.engine.sssp(&weights, src);
-                        self.stats.busy_ns += r.stats.elapsed_ns;
-                        self.stats.host_bytes += r.stats.host_bytes;
-                        QueryResult::Sssp(Run {
-                            output: r.output,
-                            stats: r.stats,
-                        })
-                    }
-                };
-                self.results.insert(id, result);
-                self.stats.served += 1;
-                served += 1;
-            }
-            self.stats.batches += 1;
-        }
-        served
-    }
-
-    /// Redeem a finished query's result; `None` while pending or
-    /// already taken.
-    pub fn take(&mut self, id: QueryId) -> Option<QueryResult> {
-        self.results.remove(&id)
-    }
-
-    /// Cumulative serving counters.
-    pub fn stats(&self) -> &ServerStats {
-        &self.stats
-    }
-
-    /// The wrapped sharded engine.
-    pub fn engine(&self) -> &ShardedEngine<'g> {
-        &self.engine
-    }
-
-    /// Mutable access to the wrapped engine (e.g. for running full-sweep
-    /// analytics across the same device group).
-    pub fn engine_mut(&mut self) -> &mut ShardedEngine<'g> {
-        &mut self.engine
-    }
-}
+//!
+//! ```
+//! use emogi_core::sharded::{ShardedConfig, ShardedEngine};
+//! use emogi_graph::{algo, generators};
+//! use emogi_serve::{Query, ServerConfig, ShardedServer};
+//!
+//! let graph = generators::kronecker(9, 8, 21);
+//! let engine = ShardedEngine::load(ShardedConfig::emogi_v100(2), &graph);
+//! let mut server = ShardedServer::new(ServerConfig::default(), engine);
+//!
+//! let id = server.submit(Query::bfs(1)).unwrap();
+//! assert_eq!(server.run_pending(), 1);
+//! let run = server.take(id).unwrap().into_bfs();
+//! assert_eq!(run.levels, algo::bfs_levels(&graph, 1));
+//! ```
+//!
+//! The `ShardedServer` alias itself lives in [`crate::server`]; this
+//! module keeps the sharded-specific behavioural tests.
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use emogi_core::sharded::ShardedConfig;
+    use crate::query::{Query, SubmitError};
+    use crate::server::{ServerConfig, ShardedServer};
+    use emogi_core::sharded::{ShardedConfig, ShardedEngine};
     use emogi_core::{Engine, EngineConfig};
     use emogi_graph::datasets::generate_weights;
     use emogi_graph::{algo, generators};
@@ -187,6 +73,23 @@ mod tests {
     }
 
     #[test]
+    fn sharded_server_serves_full_sweeps_across_the_group() {
+        let g = generators::uniform_random(500, 6, 17);
+        let engine = ShardedEngine::load(ShardedConfig::emogi_v100(2), &g);
+        let mut server = ShardedServer::new(ServerConfig::default(), engine);
+        let cc = server.submit(Query::cc()).unwrap();
+        let pr = server.submit(Query::pagerank(0.85, 4)).unwrap();
+        assert_eq!(server.run_pending(), 2);
+
+        let mut solo = Engine::load(EngineConfig::emogi_v100(), &g);
+        let got = server.take(cc).unwrap().into_cc();
+        assert_eq!(got.output.comp, solo.cc().output.comp);
+        let got = server.take(pr).unwrap().into_pagerank();
+        let want = solo.pagerank(0.85, 4);
+        assert_eq!(got.output.ranks, want.output.ranks);
+    }
+
+    #[test]
     fn sharded_server_admission_mirrors_the_single_device_server() {
         let g = generators::uniform_random(100, 4, 1);
         let engine = ShardedEngine::load(ShardedConfig::emogi_v100(2), &g);
@@ -208,13 +111,60 @@ mod tests {
             server.submit(Query::sssp(0, Arc::new(vec![1, 2]))),
             Err(SubmitError::WeightCountMismatch { got: 2, .. })
         ));
-        server.submit(Query::bfs(0)).unwrap();
+        let a = server.submit(Query::bfs(0)).unwrap();
         assert_eq!(
             server.submit(Query::bfs(1)),
             Err(SubmitError::QueueFull { capacity: 1 })
         );
         assert_eq!(server.stats().rejected, 3);
         assert_eq!(server.run_pending(), 1);
+        // The unredeemed outcome still holds the only slot.
+        assert_eq!(
+            server.submit(Query::bfs(1)),
+            Err(SubmitError::QueueFull { capacity: 1 })
+        );
+        server.take(a).unwrap();
+        server.submit(Query::bfs(1)).unwrap();
         assert_eq!(algo::bfs_levels(&g, 0).len(), 100);
+    }
+
+    #[test]
+    fn both_front_ends_normalize_max_batch_identically() {
+        // Regression test: ShardedServer::new used to store the config
+        // verbatim while QueryServer::new clamped max_batch — the shared
+        // constructor normalizes both the same way.
+        let g = generators::uniform_random(100, 4, 1);
+        let wild = ServerConfig {
+            max_batch: 0,
+            ..ServerConfig::default()
+        };
+        let mut sharded = ShardedServer::new(
+            wild.clone(),
+            ShardedEngine::load(ShardedConfig::emogi_v100(2), &g),
+        );
+        let mut single =
+            crate::server::QueryServer::new(wild, Engine::load(EngineConfig::emogi_v100(), &g));
+        // max_batch 0 would make the scheduler plan empty batches
+        // forever; clamping to 1 keeps both paths serving.
+        for server_runs in [
+            {
+                sharded.submit(Query::bfs(0)).unwrap();
+                sharded.run_pending()
+            },
+            {
+                single.submit(Query::bfs(0)).unwrap();
+                single.run_pending()
+            },
+        ] {
+            assert_eq!(server_runs, 1);
+        }
+        let huge = ServerConfig {
+            max_batch: usize::MAX,
+            ..ServerConfig::default()
+        };
+        let mut sharded =
+            ShardedServer::new(huge, ShardedEngine::load(ShardedConfig::emogi_v100(2), &g));
+        sharded.submit(Query::bfs(0)).unwrap();
+        assert_eq!(sharded.run_pending(), 1, "oversized cap clamps, not panics");
     }
 }

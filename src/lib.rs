@@ -13,9 +13,11 @@
 //!   and the [`core::VertexProgram`] algorithms (BFS / SSSP / CC /
 //!   PageRank), batched multi-query execution, and the sharded
 //!   multi-GPU [`core::ShardedEngine`]
-//! * [`serve`] — the concurrent-query front end: [`serve::QueryServer`]
-//!   with admission control and a compatibility scheduler that batches
-//!   queries so overlapping frontiers share PCIe cache lines, plus the
+//! * [`serve`] — the SLA-aware concurrent-query front end:
+//!   [`serve::QueryServer`] with cost-model admission control, deadline
+//!   classes scheduled earliest-deadline-first within priority,
+//!   cancellation, and a compatibility scheduler that batches queries
+//!   so overlapping frontiers share PCIe cache lines, plus the
 //!   device-group path ([`serve::ShardedServer`])
 //! * [`baselines`] — UVM, HALO-style and Subway-style comparison systems
 //!
@@ -65,8 +67,9 @@ pub mod prelude {
         Prefetcher, RunStats, TransferConfig, TransferStats,
     };
     pub use emogi_serve::{
-        Query, QueryId, QueryKind, QueryResult, QueryServer, ServerConfig, ServerStats,
-        ShardedServer, SubmitError,
+        Priority, QoS, Query, QueryId, QueryKind, QueryOutcome, QueryResult, QueryServer,
+        QuerySpec, SchedPolicy, ServeBackend, Server, ServerConfig, ServerStats, ShardedServer,
+        SubmitError,
     };
     pub use emogi_sim::interconnect::PeerLinkConfig;
 }

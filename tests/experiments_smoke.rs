@@ -129,6 +129,34 @@ fn overlap_experiment_produces_table_and_pipelining_wins() {
 }
 
 #[test]
+fn sla_experiment_produces_table_and_edf_beats_fifo() {
+    let ctx = ctx();
+    let tables = experiments::run("sla", &ctx);
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(t.id, "sla");
+    // One row per scheduling policy; digest-equality of every executed
+    // output against solo runs is asserted inside measure() itself.
+    assert_eq!(t.rows.len(), 2);
+    for row in &t.rows {
+        assert_eq!(row.len(), t.headers.len());
+    }
+    // The acceptance bar: on the identical mixed burst, EDF must beat
+    // FIFO on deadline-hit rate — and meet every deadline outright,
+    // since the latency class runs first under EDF.
+    let r = experiments::sla::measure(&ctx);
+    let (fifo, edf) = (r.get("FIFO"), r.get("EDF"));
+    assert!(
+        edf.hit_rate() > fifo.hit_rate(),
+        "EDF hit rate {} must beat FIFO {}",
+        edf.hit_rate(),
+        fifo.hit_rate()
+    );
+    assert_eq!(edf.deadline_missed + edf.deadline_cancelled, 0);
+    assert!(fifo.deadline_met < fifo.deadline_met + fifo.deadline_missed + fifo.deadline_cancelled);
+}
+
+#[test]
 fn scaling_experiment_produces_table_and_scales() {
     let tables = experiments::run("scaling", &ctx());
     assert_eq!(tables.len(), 1);

@@ -1,0 +1,8 @@
+// Known-bad: a deadline scheduler reading wall clocks — expiry becomes
+// a function of host load rather than queue state, so replaying the
+// same submissions yields different serving outcomes.
+pub fn expired(deadline_ns: u128) -> bool {
+    let boot = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    boot.elapsed().as_nanos() + wall.elapsed().unwrap().as_nanos() > deadline_ns
+}

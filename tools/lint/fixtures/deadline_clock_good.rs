@@ -1,0 +1,8 @@
+// Known-good: deadlines are absolute points on the server's simulated
+// clock, fixed at admission; expiry compares two counters and
+// scheduling stays a pure function of queue state.
+pub type SimTime = u64;
+
+pub fn expired(clock_ns: SimTime, deadline_ns: SimTime) -> bool {
+    deadline_ns < clock_ns
+}

@@ -138,6 +138,32 @@ fn ambient_good_is_clean() {
 }
 
 #[test]
+fn deadline_clock_bad_fires() {
+    let d = lint_source(
+        "deadline_clock_bad.rs",
+        &fixture("deadline_clock_bad.rs"),
+        &fixture_cfg(),
+    );
+    assert_eq!(
+        fired(&d, rules::AMBIENT_NONDET),
+        2,
+        "Instant::now + SystemTime in a deadline check should both fire:\n{}",
+        render(&d)
+    );
+    assert_eq!(d.len(), 2, "no other rule should fire:\n{}", render(&d));
+}
+
+#[test]
+fn deadline_clock_good_is_clean() {
+    let d = lint_source(
+        "deadline_clock_good.rs",
+        &fixture("deadline_clock_good.rs"),
+        &fixture_cfg(),
+    );
+    assert!(d.is_empty(), "{}", render(&d));
+}
+
+#[test]
 fn purity_bad_fires() {
     let d = lint_source("purity_bad.rs", &fixture("purity_bad.rs"), &fixture_cfg());
     assert_eq!(
@@ -444,6 +470,32 @@ fn live_machine_read_in_segment_key_fires() {
     assert!(
         fired(&d, rules::KERNEL_PURITY) >= 1,
         "live machine read in the reorder key must fire:\n{}",
+        render(&d)
+    );
+}
+
+/// The SLA scheduler is under the ambient-nondet gate: re-introducing a
+/// wall-clock read into the real scheduler module — the shortcut a
+/// deadline-expiry check would be tempted to take — fires on
+/// `crates/serve`, proving serving outcomes stay a pure function of the
+/// submitted workload.
+#[test]
+fn wall_clock_read_in_the_sla_scheduler_fires() {
+    let cfg = workspace_cfg();
+    let path = "crates/serve/src/scheduler.rs";
+    let src = real(path);
+    assert!(
+        lint_source(path, &src, &cfg).is_empty(),
+        "intact scheduler clean"
+    );
+    let mutated = format!(
+        "{src}\npub fn expired_now(deadline_ns: u128) -> bool {{ \
+         std::time::Instant::now().elapsed().as_nanos() > deadline_ns }}\n"
+    );
+    let d = lint_source(path, &mutated, &cfg);
+    assert!(
+        fired(&d, rules::AMBIENT_NONDET) >= 1,
+        "a wall-clock deadline check must fire:\n{}",
         render(&d)
     );
 }
