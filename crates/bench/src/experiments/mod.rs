@@ -14,6 +14,7 @@ pub mod prior;
 pub mod scaling;
 pub mod serve;
 pub mod sla;
+pub mod tiering;
 pub mod toy;
 
 use crate::{Context, Table};
@@ -55,6 +56,7 @@ pub const ALL_IDS: &[&str] = &[
     "serve",
     "sla",
     "scaling",
+    "tiering",
 ];
 
 /// Run one experiment by id. The BFS case-study figures (5, 7–10) share
@@ -87,6 +89,7 @@ pub fn run(id: &str, ctx: &Context) -> Vec<Table> {
         "serve" => vec![serve::serve(ctx)],
         "sla" => vec![sla::sla(ctx)],
         "scaling" => vec![scaling::scaling(ctx)],
+        "tiering" => vec![tiering::tiering(ctx)],
         other => panic!("unknown experiment id {other:?} (known: {ALL_IDS:?})"),
     }
 }
@@ -117,5 +120,6 @@ pub fn run_all(ctx: &Context) -> Vec<Table> {
     out.push(serve::serve(ctx));
     out.push(sla::sla(ctx));
     out.push(scaling::scaling(ctx));
+    out.push(tiering::tiering(ctx));
     out
 }

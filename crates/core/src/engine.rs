@@ -174,11 +174,14 @@ impl EngineConfig {
 /// Build the hybrid transfer manager for a placed edge list, if the
 /// configuration asks for one. Shared by the single-device and sharded
 /// engines so the placement discipline can never diverge between them.
+/// The layout's host/CXL split becomes the manager's tier homes, so a
+/// spilled tail is promoted over the CXL link rather than the PCIe lane.
 pub(crate) fn build_transfer(
     machine: &Machine,
     graph: &CsrGraph,
     elem_bytes: u64,
     placement: EdgePlacement,
+    layout: &GraphLayout,
     cfg: Option<TransferConfig>,
 ) -> Option<TransferManager> {
     cfg.map(|tcfg| {
@@ -187,7 +190,12 @@ pub(crate) fn build_transfer(
             EdgePlacement::ZeroCopyHost,
             "hybrid transfers manage the pinned-host edge list"
         );
-        TransferManager::new(machine, graph.edge_list_bytes(elem_bytes), tcfg)
+        TransferManager::with_tiers(
+            machine,
+            graph.edge_list_bytes(elem_bytes),
+            layout.host_edge_bytes,
+            tcfg,
+        )
     })
 }
 
@@ -329,7 +337,14 @@ impl<'g> Engine<'g> {
             .then_some(cfg.machine.gpu.cache.capacity_bytes);
         let mut machine = Machine::new(cfg.machine);
         let layout = GraphLayout::place(&mut machine, graph, cfg.elem_bytes, cfg.placement, false);
-        let transfer = build_transfer(&machine, graph, cfg.elem_bytes, cfg.placement, cfg.transfer);
+        let transfer = build_transfer(
+            &machine,
+            graph,
+            cfg.elem_bytes,
+            cfg.placement,
+            &layout,
+            cfg.transfer,
+        );
         let prefetcher = build_prefetcher(&machine, transfer.as_ref(), cfg.pipeline);
         Self {
             machine,

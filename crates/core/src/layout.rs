@@ -8,7 +8,15 @@
 
 use emogi_gpu::access::Space;
 use emogi_graph::CsrGraph;
-use emogi_runtime::{Machine, RegionMap, HOST_BASE};
+use emogi_runtime::{Machine, RegionMap, CXL_BASE, HOST_BASE};
+
+/// Granularity of the host/CXL split when the edge list spills past a
+/// bounded host DRAM: the host-resident prefix is aligned down to 64 KiB
+/// (the transfer manager's default region size) so it lands on a region
+/// boundary for every power-of-two region size up to 64 KiB. Larger
+/// region configurations are rejected by the transfer manager's own
+/// boundary assertion.
+pub const SPILL_ALIGN: u64 = 64 << 10;
 
 /// Which memory mechanism serves the edge list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,6 +63,13 @@ pub struct GraphLayout {
     pub elem_bytes: u64,
     /// Space the edge and weight arrays live in.
     pub edge_space: Space,
+    /// Bytes of the edge list resident in its primary home
+    /// (pinned host or managed). Equal to the full edge-list size unless
+    /// a bounded host DRAM forced the tail past it.
+    pub host_edge_bytes: u64,
+    /// Base of the CXL-resident tail of the edge list; present only when
+    /// host capacity forced a spill into the external tier.
+    pub cxl_edge_base: Option<u64>,
     /// Hybrid mode only: regions of the edge list staged into device
     /// memory by the transfer manager; refreshed before each launch.
     pub staged_edges: Option<RegionMap>,
@@ -76,14 +91,36 @@ impl GraphLayout {
         );
         let edge_bytes = graph.num_edges() as u64 * elem_bytes;
         let weight_bytes = graph.num_edges() as u64 * 4;
-        let (edge_base, weight_base) = match placement {
-            EdgePlacement::ZeroCopyHost => (
-                machine.alloc_host_pinned(edge_bytes),
-                with_weights.then(|| machine.alloc_host_pinned(weight_bytes)),
-            ),
+        let (edge_base, weight_base, host_edge_bytes, cxl_edge_base) = match placement {
+            EdgePlacement::ZeroCopyHost => {
+                // Weights (when present) stay host-resident: only the
+                // edge-list tail spills, so reserve their bytes up front.
+                let avail =
+                    machine
+                        .host_free()
+                        .saturating_sub(if with_weights { weight_bytes } else { 0 });
+                let host_part = if avail >= edge_bytes {
+                    edge_bytes
+                } else {
+                    avail / SPILL_ALIGN * SPILL_ALIGN
+                };
+                let spill = edge_bytes - host_part;
+                assert!(
+                    spill == 0 || machine.cxl.is_some(),
+                    "edge list ({edge_bytes} B) exceeds host DRAM capacity \
+                     ({avail} B free) and the machine has no CXL tier to \
+                     spill into (MachineConfig::with_cxl)"
+                );
+                let edge_base = machine.alloc_host_pinned(host_part);
+                let cxl_edge_base = (spill > 0).then(|| machine.alloc_cxl(spill));
+                let weight_base = with_weights.then(|| machine.alloc_host_pinned(weight_bytes));
+                (edge_base, weight_base, host_part, cxl_edge_base)
+            }
             EdgePlacement::Uvm => (
                 machine.alloc_managed(edge_bytes),
                 with_weights.then(|| machine.alloc_managed(weight_bytes)),
+                edge_bytes,
+                None,
             ),
         };
         let vertex_base = machine.alloc_device(graph.vertex_list_bytes());
@@ -95,6 +132,8 @@ impl GraphLayout {
             status_base,
             elem_bytes,
             edge_space: placement.space(),
+            host_edge_bytes,
+            cxl_edge_base,
             staged_edges: None,
         }
     }
@@ -106,7 +145,8 @@ impl GraphLayout {
     }
 
     /// Address of edge-list element `i`. In hybrid mode a staged region
-    /// redirects into device memory.
+    /// redirects into device memory; offsets past the host-resident
+    /// prefix resolve into the CXL spill tail.
     #[inline]
     pub fn edge_addr(&self, i: u64) -> u64 {
         let off = i * self.elem_bytes;
@@ -115,16 +155,23 @@ impl GraphLayout {
                 return dev;
             }
         }
-        self.edge_base + off
+        match self.cxl_edge_base {
+            Some(cxl) if off >= self.host_edge_bytes => cxl + (off - self.host_edge_bytes),
+            _ => self.edge_base + off,
+        }
     }
 
     /// Space of an edge-list access at `addr` (as produced by
     /// [`edge_addr`](Self::edge_addr)): staged addresses live below the
-    /// pinned-host window and are priced as device memory.
+    /// pinned-host window and are priced as device memory; spilled
+    /// addresses live at or above the CXL window and are priced over the
+    /// CXL link.
     #[inline]
     pub fn edge_addr_space(&self, addr: u64) -> Space {
         if addr < HOST_BASE {
             Space::Device
+        } else if addr >= CXL_BASE {
+            Space::Cxl
         } else {
             self.edge_space
         }
@@ -186,6 +233,75 @@ mod tests {
         let l = GraphLayout::place(&mut m, &g, 4, EdgePlacement::ZeroCopyHost, false);
         assert_eq!(l.elems_per_line(), 32);
         assert_eq!(l.edge_addr(3), l.edge_base + 12);
+    }
+
+    #[test]
+    fn unbounded_host_never_spills() {
+        let mut m = Machine::new(MachineConfig::v100_gen3());
+        let g = generators::uniform_random(1000, 8, 1);
+        let l = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, false);
+        assert_eq!(l.host_edge_bytes, g.num_edges() as u64 * 8);
+        assert!(l.cxl_edge_base.is_none());
+        assert_eq!(l.edge_addr_space(l.edge_base), Space::HostPinned);
+    }
+
+    #[test]
+    fn bounded_host_spills_edge_tail_to_cxl() {
+        use emogi_runtime::CXL_BASE;
+        use emogi_sim::CxlConfig;
+        let g = generators::uniform_random(100_000, 10, 1); // ~8 MB of edges
+        let mut m = Machine::new(
+            MachineConfig::v100_gen3()
+                .with_cxl(CxlConfig::external_x8())
+                .with_host_capacity(3 << 20),
+        );
+        let l = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, false);
+        assert_eq!(l.host_edge_bytes, 3 << 20, "prefix aligned to SPILL_ALIGN");
+        let cxl = l.cxl_edge_base.expect("tail spilled");
+        assert!(cxl >= CXL_BASE);
+        // Addresses on each side of the split resolve to the right tier.
+        let boundary = l.host_edge_bytes / 8;
+        assert_eq!(
+            l.edge_addr(boundary - 1),
+            l.edge_base + l.host_edge_bytes - 8
+        );
+        assert_eq!(l.edge_addr(boundary), cxl);
+        assert_eq!(l.edge_addr(boundary + 1), cxl + 8);
+        assert_eq!(l.edge_addr_space(l.edge_addr(boundary)), Space::Cxl);
+        assert_eq!(
+            l.edge_addr_space(l.edge_addr(boundary - 1)),
+            Space::HostPinned
+        );
+    }
+
+    #[test]
+    fn spill_reserves_weight_bytes_on_the_host() {
+        use emogi_sim::CxlConfig;
+        let g = generators::uniform_random(100_000, 10, 1);
+        let mut m = Machine::new(
+            MachineConfig::v100_gen3()
+                .with_cxl(CxlConfig::external_x8())
+                .with_host_capacity(6 << 20),
+        );
+        let l = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, true);
+        let weight_bytes = g.num_edges() as u64 * 4;
+        assert!(
+            l.weight_base.unwrap() >= HOST_BASE,
+            "weights stay host-resident"
+        );
+        assert!(
+            l.host_edge_bytes + weight_bytes <= 6 << 20,
+            "edge prefix leaves room for the weights"
+        );
+        assert!(l.cxl_edge_base.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no CXL tier")]
+    fn spill_without_cxl_tier_is_rejected() {
+        let g = generators::uniform_random(100_000, 10, 1);
+        let mut m = Machine::new(MachineConfig::v100_gen3().with_host_capacity(1 << 20));
+        let _ = GraphLayout::place(&mut m, &g, 8, EdgePlacement::ZeroCopyHost, false);
     }
 
     #[test]

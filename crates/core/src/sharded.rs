@@ -242,6 +242,7 @@ impl<'g> ShardedEngine<'g> {
                 graph,
                 cfg.engine.elem_bytes,
                 cfg.engine.placement,
+                &layout,
                 cfg.engine.transfer.clone(),
             );
             let prefetcher =

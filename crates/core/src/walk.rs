@@ -153,6 +153,8 @@ mod tests {
             status_base: 0x1_0000_1000_0000,
             elem_bytes: 8,
             edge_space: EdgePlacement::ZeroCopyHost.space(),
+            host_edge_bytes: u64::MAX,
+            cxl_edge_base: None,
             staged_edges: None,
         }
     }

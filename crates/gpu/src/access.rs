@@ -11,10 +11,12 @@
 /// warp (i.e., 32 threads)").
 pub const WARP_SIZE: usize = 32;
 
-/// Address space targeted by an access. The three spaces have the three
-/// cost models of §2.2/§3: device memory is HBM behind the cache, host
-/// pinned memory is zero-copy over PCIe, and managed memory is UVM with
-/// page migration.
+/// Address space targeted by an access. The first three spaces have the
+/// three cost models of §2.2/§3: device memory is HBM behind the cache,
+/// host pinned memory is zero-copy over PCIe, and managed memory is UVM
+/// with page migration. `Cxl` is the microsecond-latency external tier of
+/// the CXL follow-up paper — load/store served over a CXL.mem-style link
+/// with no PCIe tag semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Space {
     /// GPU device memory (vertex list, status arrays, output buffers).
@@ -23,6 +25,8 @@ pub enum Space {
     HostPinned,
     /// UVM-managed memory, resident wherever the driver last put it.
     Managed,
+    /// CXL-class external memory: cold edge regions spilled past host DRAM.
+    Cxl,
 }
 
 /// One lane's memory access within a warp step.

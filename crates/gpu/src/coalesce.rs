@@ -57,6 +57,7 @@ fn space_rank(s: Space) -> u8 {
         Space::Device => 0,
         Space::HostPinned => 1,
         Space::Managed => 2,
+        Space::Cxl => 3,
     }
 }
 
@@ -64,7 +65,8 @@ fn rank_space(r: u8) -> Space {
     match r {
         0 => Space::Device,
         1 => Space::HostPinned,
-        _ => Space::Managed,
+        2 => Space::Managed,
+        _ => Space::Cxl,
     }
 }
 

@@ -16,15 +16,18 @@ pub const DEVICE_BASE: u64 = 0x1_0000_0000_0000;
 pub const HOST_BASE: u64 = 0x2_0000_0000_0000;
 /// Base of the UVM-managed region.
 pub const MANAGED_BASE: u64 = 0x3_0000_0000_0000;
+/// Base of the CXL external-memory region (the cold spill tier).
+pub const CXL_BASE: u64 = 0x4_0000_0000_0000;
 
 const SPACE_SPAN: u64 = 0x1_0000_0000_0000;
 
-/// Bump allocators for the three spaces.
+/// Bump allocators for the four spaces.
 #[derive(Debug, Clone)]
 pub struct AddressSpaces {
     device_cursor: u64,
     host_cursor: u64,
     managed_cursor: u64,
+    cxl_cursor: u64,
     device_capacity: u64,
 }
 
@@ -36,6 +39,7 @@ impl AddressSpaces {
             device_cursor: DEVICE_BASE,
             host_cursor: HOST_BASE,
             managed_cursor: MANAGED_BASE,
+            cxl_cursor: CXL_BASE,
             device_capacity,
         }
     }
@@ -69,9 +73,27 @@ impl AddressSpaces {
         addr
     }
 
+    /// Allocate CXL external memory (page aligned, like host pinning —
+    /// the expander is mapped at page granularity).
+    pub fn alloc_cxl(&mut self, bytes: u64) -> u64 {
+        let addr = self.cxl_cursor;
+        self.cxl_cursor += align4k(bytes);
+        addr
+    }
+
     /// Explicitly allocated device bytes (excludes the UVM page pool).
     pub fn device_used(&self) -> u64 {
         self.device_cursor - DEVICE_BASE
+    }
+
+    /// Total pinned host bytes allocated so far.
+    pub fn host_used(&self) -> u64 {
+        self.host_cursor - HOST_BASE
+    }
+
+    /// Total CXL external-memory bytes allocated so far.
+    pub fn cxl_used(&self) -> u64 {
+        self.cxl_cursor - CXL_BASE
     }
 
     /// Total managed bytes allocated so far.
@@ -95,6 +117,7 @@ impl AddressSpaces {
             1 => Space::Device,
             2 => Space::HostPinned,
             3 => Space::Managed,
+            4 => Space::Cxl,
             _ => panic!("address {addr:#x} outside all simulated spaces"),
         }
     }
@@ -132,6 +155,18 @@ mod tests {
         assert_eq!(AddressSpaces::space_of(DEVICE_BASE + 5), Space::Device);
         assert_eq!(AddressSpaces::space_of(HOST_BASE), Space::HostPinned);
         assert_eq!(AddressSpaces::space_of(MANAGED_BASE + 99), Space::Managed);
+        assert_eq!(AddressSpaces::space_of(CXL_BASE + 7), Space::Cxl);
+    }
+
+    #[test]
+    fn cxl_allocations_are_page_aligned_and_tracked() {
+        let mut a = AddressSpaces::new(1 << 20);
+        let c1 = a.alloc_cxl(100);
+        let c2 = a.alloc_cxl(1);
+        assert_eq!(c1, CXL_BASE);
+        assert_eq!(c2, CXL_BASE + 4096);
+        assert_eq!(a.cxl_used(), 8192);
+        assert_eq!(a.host_used(), 0);
     }
 
     #[test]

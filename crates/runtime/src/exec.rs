@@ -241,6 +241,7 @@ impl<K: Kernel> Executor<'_, K> {
                 Space::Device => self.access_device(w, txn, compute_done),
                 Space::HostPinned => self.access_host(w, txn, compute_done),
                 Space::Managed => self.access_managed(w, txn, compute_done),
+                Space::Cxl => self.access_cxl(w, txn, compute_done),
             }
         }
         txns.clear();
@@ -274,6 +275,43 @@ impl<K: Kernel> Executor<'_, K> {
             let addr = line + first * SECTOR_BYTES;
             let size = (run * SECTOR_BYTES) as u32;
             let done = self.m.hbm.read(at, addr, size);
+            self.m.cache.fill(line, run_mask(first, run));
+            let slot = &mut self.slots[w as usize];
+            slot.resume_at = slot.resume_at.max(done);
+            miss &= !run_mask(first, run);
+        }
+    }
+
+    /// CXL external-tier access: cache in front of a synchronous CXL.mem
+    /// read. No MSHR and no tag pool — CXL.mem is a load/store protocol,
+    /// so the warp simply blocks for the (microsecond-class) round trip;
+    /// latency hiding comes from the other warps, exactly the regime the
+    /// CXL external-memory paper targets.
+    fn access_cxl(&mut self, w: u32, txn: &Transaction, at: Time) {
+        debug_assert!(
+            !txn.store,
+            "the evaluated kernels never store to the CXL tier"
+        );
+        self.report.cxl_txns += 1;
+        let line = txn.line();
+        let mask = txn.sector_mask();
+        let hit = self.m.cache.probe(line, mask);
+        if hit != 0 {
+            let slot = &mut self.slots[w as usize];
+            slot.resume_at = slot.resume_at.max(at + self.m.cache.hit_latency_ns);
+        }
+        let mut miss = mask & !hit;
+        while miss != 0 {
+            let first = miss.trailing_zeros() as u64;
+            let run = (miss >> first).trailing_ones() as u64;
+            let addr = line + first * SECTOR_BYTES;
+            let size = (run * SECTOR_BYTES) as u32;
+            let done = self
+                .m
+                .cxl
+                .as_mut()
+                .expect("CXL-space access on a machine without a CXL tier")
+                .read(at, addr, size);
             self.m.cache.fill(line, run_mask(first, run));
             let slot = &mut self.slots[w as usize];
             slot.resume_at = slot.resume_at.max(done);

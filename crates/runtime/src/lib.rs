@@ -15,7 +15,9 @@
 //! * [`group`] — the multi-GPU device group: one machine per simulated
 //!   GPU plus the inter-device exchange interconnect;
 //! * [`exec`] — the discrete-event executor and the [`Kernel`] trait;
-//! * [`transfer`] — the hybrid zero-copy / DMA transfer manager;
+//! * [`transfer`] — the hybrid N-tier transfer manager (zero-copy / DMA
+//!   staging / CXL promotion and demotion);
+//! * [`tier`] — per-tier byte budgets backing the transfer manager;
 //! * [`prefetch`] — the speculative prefetcher feeding the pipelined
 //!   (overlapped DMA/kernel) staging path;
 //! * [`report`] — per-kernel and per-run statistics;
@@ -30,13 +32,15 @@ pub mod group;
 pub mod machine;
 pub mod prefetch;
 pub mod report;
+pub mod tier;
 pub mod transfer;
 pub mod util;
 
-pub use alloc::{AddressSpaces, DEVICE_BASE, HOST_BASE, MANAGED_BASE};
+pub use alloc::{AddressSpaces, CXL_BASE, DEVICE_BASE, HOST_BASE, MANAGED_BASE};
 pub use exec::{Kernel, StepOutcome};
 pub use group::{DeviceGroup, DeviceGroupConfig};
 pub use machine::{Machine, MachineConfig};
 pub use prefetch::{PrefetchConfig, PrefetchStats, Prefetcher};
 pub use report::{KernelReport, RunStats};
+pub use tier::{TierBudget, TierBudgets};
 pub use transfer::{RegionMap, TransferConfig, TransferManager, TransferStats};

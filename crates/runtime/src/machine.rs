@@ -5,7 +5,8 @@ use crate::alloc::{AddressSpaces, MANAGED_BASE};
 use crate::report::RunStats;
 use emogi_gpu::cache::SectoredCache;
 use emogi_gpu::config::{GpuConfig, GpuPreset};
-use emogi_sim::dma::DmaEngine;
+use emogi_sim::cxl::{CxlConfig, CxlLink};
+use emogi_sim::dma::{DmaEngine, MEMCPY_LAUNCH_OVERHEAD_NS};
 use emogi_sim::dram::{Dram, DramConfig};
 use emogi_sim::monitor::{SizeHistogram, TrafficMonitor};
 use emogi_sim::pcie::{PcieConfig, PcieGen, PcieLink};
@@ -26,6 +27,12 @@ pub struct MachineConfig {
     pub uvm: UvmConfig,
     /// Resolution of the bandwidth time series.
     pub monitor_window_ns: Time,
+    /// Optional CXL-class external-memory tier. `None` (the default in
+    /// every preset) reproduces the paper's two-level machine exactly.
+    pub cxl: Option<CxlConfig>,
+    /// Pinned-host capacity in bytes; allocations past it spill to the
+    /// CXL tier. `None` models unbounded host DRAM (the two-tier default).
+    pub host_capacity_bytes: Option<u64>,
 }
 
 impl MachineConfig {
@@ -37,6 +44,8 @@ impl MachineConfig {
             host_dram: DramConfig::ddr4_2933_quad(),
             uvm: UvmConfig::default(),
             monitor_window_ns: 50_000,
+            cxl: None,
+            host_capacity_bytes: None,
         }
     }
 
@@ -48,6 +57,8 @@ impl MachineConfig {
             host_dram: DramConfig::ddr4_3200_octa(),
             uvm: UvmConfig::default(),
             monitor_window_ns: 50_000,
+            cxl: None,
+            host_capacity_bytes: None,
         }
     }
 
@@ -67,7 +78,22 @@ impl MachineConfig {
             host_dram: DramConfig::ddr4_2933_quad(),
             uvm: UvmConfig::default(),
             monitor_window_ns: 50_000,
+            cxl: None,
+            host_capacity_bytes: None,
         }
+    }
+
+    /// Attach a CXL-class external-memory tier.
+    pub fn with_cxl(mut self, cxl: CxlConfig) -> Self {
+        self.cxl = Some(cxl);
+        self
+    }
+
+    /// Cap pinned host DRAM at `bytes`; allocations past the cap spill to
+    /// the CXL tier (which must then be configured).
+    pub fn with_host_capacity(mut self, bytes: u64) -> Self {
+        self.host_capacity_bytes = Some(bytes);
+        self
     }
 }
 
@@ -91,6 +117,8 @@ pub struct Machine {
     pub dma: DmaEngine,
     /// The simulated address-space allocators.
     pub spaces: AddressSpaces,
+    /// The CXL external-memory link, present when the config attaches one.
+    pub cxl: Option<CxlLink>,
     /// The UVM driver, initialized before the first managed kernel.
     pub uvm: Option<UvmDriver>,
     /// Simulated wall clock, advanced by kernels and copies.
@@ -121,6 +149,8 @@ pub struct Snapshot {
     l2_misses: u64,
     lane_bytes: u64,
     txn_bytes: u64,
+    cxl_reads: u64,
+    cxl_bytes: u64,
 }
 
 impl Machine {
@@ -134,6 +164,7 @@ impl Machine {
             monitor: TrafficMonitor::new(cfg.monitor_window_ns),
             dma: DmaEngine::new(),
             spaces: AddressSpaces::new(cfg.gpu.mem_bytes),
+            cxl: cfg.cxl.clone().map(CxlLink::new),
             uvm: None,
             now: 0,
             kernel_launch_ns: 100, // scaled with the datasets (see DESIGN.md)
@@ -161,6 +192,27 @@ impl Machine {
     /// `cudaMallocManaged`: UVM-managed memory.
     pub fn alloc_managed(&mut self, bytes: u64) -> u64 {
         self.spaces.alloc_managed(bytes)
+    }
+
+    /// Allocate CXL external memory. Panics when no CXL tier is attached —
+    /// spilling past host DRAM on a two-tier machine is a configuration
+    /// error, not a silent fallback.
+    pub fn alloc_cxl(&mut self, bytes: u64) -> u64 {
+        assert!(
+            self.cxl.is_some(),
+            "allocating {bytes} B of CXL external memory, but the machine \
+             has no CXL tier (MachineConfig::with_cxl)"
+        );
+        self.spaces.alloc_cxl(bytes)
+    }
+
+    /// Pinned host bytes still available under the configured capacity
+    /// cap; `u64::MAX` when host DRAM is unbounded (the two-tier default).
+    pub fn host_free(&self) -> u64 {
+        match self.cfg.host_capacity_bytes {
+            Some(cap) => cap.saturating_sub(self.spaces.host_used()),
+            None => u64::MAX,
+        }
     }
 
     /// Create the UVM driver covering every managed allocation so far,
@@ -213,6 +265,25 @@ impl Machine {
         self.hbm.account_bulk_write(bytes);
     }
 
+    /// Synchronous bulk promotion CXL→device; advances the clock. The
+    /// stream pays the memcpy launch overhead, reads out of the CXL tier
+    /// (link occupancy + flit headers) and lands in HBM — the far-memory
+    /// twin of [`memcpy_to_device`](Self::memcpy_to_device). CXL traffic
+    /// is *not* PCIe traffic: the monitor and DMA counters stay untouched
+    /// and the bytes surface in [`RunStats::cxl_bytes`].
+    pub fn memcpy_cxl_to_device(&mut self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let cxl = self
+            .cxl
+            .as_mut()
+            .expect("CXL promotion on a machine without a CXL tier");
+        let start = self.now + MEMCPY_LAUNCH_OVERHEAD_NS;
+        let arrived = cxl.read_bulk(start, bytes);
+        self.now = self.hbm.write_bulk(start, bytes).max(arrived);
+    }
+
     /// Synchronous `cudaMemcpy` device→host; advances the clock.
     pub fn memcpy_to_host(&mut self, bytes: u64) {
         self.now = self.dma.copy_to_host(
@@ -245,6 +316,8 @@ impl Machine {
             l2_misses: self.cache.stats.sector_misses,
             lane_bytes: self.lane_bytes,
             txn_bytes: self.txn_bytes,
+            cxl_reads: self.cxl.as_ref().map_or(0, |c| c.read_requests),
+            cxl_bytes: self.cxl.as_ref().map_or(0, CxlLink::total_bytes),
         }
     }
 
@@ -281,6 +354,8 @@ impl Machine {
             l2_sector_misses: self.cache.stats.sector_misses - base.l2_misses,
             lane_bytes: self.lane_bytes - base.lane_bytes,
             txn_bytes: self.txn_bytes - base.txn_bytes,
+            cxl_read_requests: self.cxl.as_ref().map_or(0, |c| c.read_requests) - base.cxl_reads,
+            cxl_bytes: self.cxl.as_ref().map_or(0, CxlLink::total_bytes) - base.cxl_bytes,
             // The transfer manager and prefetcher live outside the
             // machine; whoever owns them (the engine) overwrites these
             // with the per-run diffs.
@@ -334,6 +409,33 @@ mod tests {
         m.alloc_managed(4096);
         m.ensure_uvm();
         m.alloc_device(128);
+    }
+
+    #[test]
+    fn cxl_tier_is_opt_in_and_accounted_separately() {
+        let mut m = Machine::new(
+            MachineConfig::v100_gen3()
+                .with_cxl(CxlConfig::external_x8())
+                .with_host_capacity(1 << 20),
+        );
+        assert_eq!(m.host_free(), 1 << 20);
+        m.alloc_host_pinned(1 << 20);
+        assert_eq!(m.host_free(), 0, "host cap is exhausted");
+        m.alloc_cxl(1 << 20);
+        let snap = m.snapshot();
+        m.memcpy_cxl_to_device(1 << 20);
+        let stats = m.finish_run(&snap, 0);
+        assert_eq!(stats.cxl_bytes, 1 << 20);
+        assert_eq!(stats.host_bytes, 0, "CXL traffic must not count as PCIe");
+        assert_eq!(m.monitor.dma_bytes, 0);
+        assert!(m.now > MEMCPY_LAUNCH_OVERHEAD_NS);
+    }
+
+    #[test]
+    #[should_panic(expected = "no CXL tier")]
+    fn cxl_alloc_without_tier_panics() {
+        let mut m = Machine::new(MachineConfig::v100_gen3());
+        m.alloc_cxl(4096);
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct KernelReport {
     pub host_txns: u64,
     /// Coalesced managed-space transactions.
     pub managed_txns: u64,
+    /// Coalesced CXL-space transactions (regions served in place from the
+    /// external tier).
+    pub cxl_txns: u64,
     /// Host transactions that were satisfied by attaching to an already
     /// in-flight request (MSHR merges).
     pub mshr_merges: u64,
@@ -69,6 +72,13 @@ pub struct RunStats {
     pub lane_bytes: u64,
     /// Bytes the coalesced transactions moved for those lanes.
     pub txn_bytes: u64,
+    /// Demand read requests served by the CXL external tier; zero on
+    /// two-tier machines.
+    pub cxl_read_requests: u64,
+    /// Payload bytes the CXL tier served — zero-copy demand reads plus
+    /// bulk promotions into HBM. Kept separate from
+    /// [`host_bytes`](Self::host_bytes), which stays PCIe-only.
+    pub cxl_bytes: u64,
     /// Hybrid transfer-manager counters for this run; all-zero for runs
     /// that never stage (pure zero-copy, UVM).
     pub transfer: TransferStats,
@@ -135,6 +145,8 @@ impl RunStats {
         self.l2_sector_misses += iteration.l2_sector_misses;
         self.lane_bytes += iteration.lane_bytes;
         self.txn_bytes += iteration.txn_bytes;
+        self.cxl_read_requests += iteration.cxl_read_requests;
+        self.cxl_bytes += iteration.cxl_bytes;
         self.transfer += iteration.transfer;
         self.prefetch += iteration.prefetch;
         self.avg_pcie_gbps = if self.elapsed_ns == 0 {
@@ -165,6 +177,8 @@ impl RunStats {
             total.l2_sector_misses += s.l2_sector_misses;
             total.lane_bytes += s.lane_bytes;
             total.txn_bytes += s.txn_bytes;
+            total.cxl_read_requests += s.cxl_read_requests;
+            total.cxl_bytes += s.cxl_bytes;
             total.transfer += s.transfer;
             total.prefetch += s.prefetch;
         }

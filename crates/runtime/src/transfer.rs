@@ -32,8 +32,9 @@
 
 use crate::machine::Machine;
 use crate::prefetch::Prefetcher;
+use crate::tier::{TierBudget, TierBudgets};
 use emogi_sim::time::Time;
-use emogi_uvm::{TransferDecision, TransferPolicy, TransferPolicyConfig};
+use emogi_uvm::{MemoryTier, TierDecision, TransferPolicy, TransferPolicyConfig};
 
 /// Sentinel in a [`RegionMap`] table: region not staged.
 pub const UNMAPPED: u64 = u64::MAX;
@@ -49,6 +50,11 @@ pub struct TransferConfig {
     pub pool_bytes: Option<u64>,
     /// The stage-or-stay-zero-copy decision policy.
     pub policy: TransferPolicyConfig,
+    /// Demote a staged region back to its home tier after this many
+    /// planning rounds without a touch, crediting its pool slot for
+    /// hotter regions. `None` (the default) never demotes — the two-tier
+    /// model's behaviour, bit-identical to the pre-tiering manager.
+    pub demote_cold_after: Option<u32>,
 }
 
 impl Default for TransferConfig {
@@ -57,6 +63,7 @@ impl Default for TransferConfig {
             region_bytes: 64 << 10,
             pool_bytes: None,
             policy: TransferPolicyConfig::default(),
+            demote_cold_after: None,
         }
     }
 }
@@ -106,6 +113,14 @@ pub struct TransferStats {
     pub pool_fallbacks: u64,
     /// Planning rounds that staged at least one region.
     pub staging_rounds: u64,
+    /// Staged regions whose home is the CXL tier (promotions); a subset
+    /// of [`staged_regions`](Self::staged_regions).
+    pub cxl_staged_regions: u64,
+    /// Bytes bulk-copied out of the CXL tier for those promotions; a
+    /// subset of [`staged_bytes`](Self::staged_bytes).
+    pub cxl_staged_bytes: u64,
+    /// Staged regions demoted back to their home tier after going cold.
+    pub demoted_regions: u64,
 }
 
 impl std::ops::Sub for TransferStats {
@@ -119,6 +134,9 @@ impl std::ops::Sub for TransferStats {
             staged_bytes: self.staged_bytes - base.staged_bytes,
             pool_fallbacks: self.pool_fallbacks - base.pool_fallbacks,
             staging_rounds: self.staging_rounds - base.staging_rounds,
+            cxl_staged_regions: self.cxl_staged_regions - base.cxl_staged_regions,
+            cxl_staged_bytes: self.cxl_staged_bytes - base.cxl_staged_bytes,
+            demoted_regions: self.demoted_regions - base.demoted_regions,
         }
     }
 }
@@ -130,6 +148,9 @@ impl std::ops::AddAssign for TransferStats {
         self.staged_bytes += other.staged_bytes;
         self.pool_fallbacks += other.pool_fallbacks;
         self.staging_rounds += other.staging_rounds;
+        self.cxl_staged_regions += other.cxl_staged_regions;
+        self.cxl_staged_bytes += other.cxl_staged_bytes;
+        self.demoted_regions += other.demoted_regions;
     }
 }
 
@@ -150,11 +171,25 @@ pub struct TransferManager {
     /// The previous round's `(region, upcoming bytes)` pairs, sorted by
     /// region — the prefetcher's prediction input.
     last_touched: Vec<(u32, u64)>,
-    pool_left: u64,
-    /// Pool bytes currently charged to live speculative stages. Invariant
-    /// between rounds: `pool_left + spec_charged` equals the pool a
-    /// pipeline-free manager would hold (see [`reserve`](Self::reserve)).
-    spec_charged: u64,
+    /// Per-tier byte ledgers. `budgets.hbm` is the staging pool the old
+    /// `pool_left`/`spec_charged` pair used to track; `budgets.host` and
+    /// `budgets.cxl` record how many watched bytes are homed in each tier.
+    budgets: TierBudgets,
+    /// Bytes of the watched array homed in pinned host DRAM; offsets past
+    /// this are homed in the CXL tier. Equal to `len_bytes` on a two-tier
+    /// machine.
+    host_bytes: u64,
+    /// Demote staged regions untouched for this many rounds; `None` never
+    /// demotes.
+    demote_cold_after: Option<u32>,
+    /// Planning rounds completed (drives cold-region demotion).
+    round: u32,
+    /// Per region: the round it was last touched in.
+    last_hot: Vec<u32>,
+    /// Device slots of demoted regions, `(address, rounded bytes)`,
+    /// coldest-demoted first; reused FIFO by later stagings so the bump
+    /// allocator's capacity is never re-consumed.
+    free_slots: Vec<(u64, u64)>,
     /// Monotonically growing lifetime counters; snapshot and diff for
     /// per-run reporting.
     pub stats: TransferStats,
@@ -164,13 +199,35 @@ impl TransferManager {
     /// Watch `len_bytes` of pinned host memory on `machine`. The pool
     /// budget is capped by the device memory still free at this point.
     pub fn new(machine: &Machine, len_bytes: u64, cfg: TransferConfig) -> Self {
+        Self::with_tiers(machine, len_bytes, len_bytes, cfg)
+    }
+
+    /// Watch `len_bytes` of which the first `host_bytes` are homed in
+    /// pinned host DRAM and the rest in the CXL external tier (the
+    /// spilled layout of a bigger-than-host-DRAM graph). `host_bytes`
+    /// must land on a region boundary (or cover the whole array) so every
+    /// region has exactly one home tier. The pool budget is capped by the
+    /// device memory still free at this point.
+    pub fn with_tiers(
+        machine: &Machine,
+        len_bytes: u64,
+        host_bytes: u64,
+        cfg: TransferConfig,
+    ) -> Self {
         assert!(
             cfg.region_bytes.is_power_of_two() && cfg.region_bytes >= 128,
             "region_bytes must be a power of two >= 128, got {}",
             cfg.region_bytes
         );
+        let host_bytes = host_bytes.min(len_bytes);
+        assert!(
+            host_bytes == len_bytes || host_bytes.is_multiple_of(cfg.region_bytes),
+            "host/CXL split at {host_bytes} B does not land on a \
+             {}-byte region boundary",
+            cfg.region_bytes
+        );
         let regions = len_bytes.div_ceil(cfg.region_bytes) as usize;
-        let pool_left = cfg
+        let pool = cfg
             .pool_bytes
             .unwrap_or(u64::MAX)
             .min(machine.spaces.device_free());
@@ -183,10 +240,34 @@ impl TransferManager {
             upcoming: vec![0; regions],
             touched: Vec::new(),
             last_touched: Vec::new(),
-            pool_left,
-            spec_charged: 0,
+            budgets: TierBudgets {
+                hbm: TierBudget::new(pool),
+                host: TierBudget::new(host_bytes),
+                cxl: TierBudget::new(len_bytes - host_bytes),
+            },
+            host_bytes,
+            demote_cold_after: cfg.demote_cold_after,
+            round: 0,
+            last_hot: vec![0; regions],
+            free_slots: Vec::new(),
             stats: TransferStats::default(),
         }
+    }
+
+    /// The tier region `r` is homed in — where its bytes live when it is
+    /// not staged. Staging overlays a region into HBM without changing
+    /// its home.
+    pub fn home(&self, r: usize) -> MemoryTier {
+        if (r as u64) * self.region_bytes < self.host_bytes {
+            MemoryTier::Host
+        } else {
+            MemoryTier::Cxl
+        }
+    }
+
+    /// The per-tier byte ledgers (HBM staging pool, host/CXL placement).
+    pub fn tier_budgets(&self) -> &TierBudgets {
+        &self.budgets
     }
 
     /// Regions the watched array is divided into.
@@ -201,7 +282,7 @@ impl TransferManager {
 
     /// Device-pool bytes still available for staging.
     pub fn pool_left(&self) -> u64 {
-        self.pool_left
+        self.budgets.hbm.free()
     }
 
     /// Inform the manager that `bytes` of device memory were allocated
@@ -210,25 +291,23 @@ impl TransferManager {
     /// combined usage never exceeds the device capacity. Saturates at
     /// zero — staging then simply falls back to zero-copy.
     ///
-    /// Accounting invariant: at every reservation site, `pool_left +
-    /// spec_charged` is the budget not yet consumed by *demand*
+    /// Accounting invariant: at this reservation site, the HBM ledger's
+    /// `free + spec` is the budget not yet consumed by *demand*
     /// allocations or permanent reservations — exactly what a
-    /// pipeline-free manager holds in `pool_left`. A speculative stage
-    /// charges the pool once when issued and is credited back exactly
-    /// once: either at adoption (where the demand allocation takes over
-    /// the charge) or at eviction before first use. The reservation
-    /// therefore deducts from the *combined* budget — taking free pool
-    /// first, then speculative headroom — so a speculative stage that is
-    /// later evicted never stays charged against the budget (the
-    /// double-count this invariant exists to prevent). Shortfalls pushed
-    /// onto `spec_charged` are realized as deterministic evictions at the
+    /// pipeline-free manager holds in `free`. A speculative stage charges
+    /// the ledger once when issued and is credited back exactly once:
+    /// either at adoption (where the demand allocation takes over the
+    /// charge) or at eviction before first use. The reservation therefore
+    /// deducts from the *combined* budget via [`TierBudget::reserve`] —
+    /// free pool first, speculative headroom second — so an evicted
+    /// speculation never stays charged (the double-count the old
+    /// `pool_left`-only special case allowed). Shortfalls pushed onto the
+    /// speculative side are realized as deterministic evictions at the
     /// next planning round's recharge pass, which re-charges survivors in
     /// issue order and evicts whatever no longer fits.
     pub fn reserve(&mut self, bytes: u64) {
         let need = bytes.div_ceil(128) * 128;
-        let combined = (self.pool_left + self.spec_charged).saturating_sub(need);
-        self.spec_charged = self.spec_charged.min(combined);
-        self.pool_left = combined - self.spec_charged;
+        self.budgets.hbm.reserve(need);
     }
 
     /// Whether `region` has been staged into device memory.
@@ -291,17 +370,21 @@ impl TransferManager {
     }
 
     fn plan_with(&mut self, machine: &mut Machine, mut pf: Option<&mut Prefetcher>) -> bool {
+        self.round += 1;
         // First-touch order follows the frontier, which is sorted by the
         // traversal drivers — sort to be robust against unsorted callers
         // (determinism, and allocation order independent of touch order).
         self.touched.sort_unstable();
+        for &r in &self.touched {
+            self.last_hot[r as usize] = self.round;
+        }
+        let demoted = self.demote_cold();
         // Settle: credit every speculative charge back so the decision
         // loop below sees exactly the pool a synchronous manager would —
         // the stage-vs-fallback outcomes must be bit-identical. Survivors
         // are re-charged after the loop.
         if pf.is_some() {
-            self.pool_left += self.spec_charged;
-            self.spec_charged = 0;
+            self.budgets.hbm.settle();
             // Record the touch set for the predictor before the loop
             // consumes the per-region byte counts.
             self.last_touched.clear();
@@ -310,6 +393,7 @@ impl TransferManager {
             }
         }
         let mut copy_bytes = 0u64;
+        let mut cxl_copy_bytes = 0u64;
         let mut adopted_bytes = 0u64;
         let mut staged_count = 0u64;
         let mut stall_until: Time = 0;
@@ -325,13 +409,23 @@ impl TransferManager {
             // last region is smaller than its allocation).
             let need = len.div_ceil(128) * 128;
             let density = bytes as f64 / len as f64;
-            match self.policy.decide(r, density.min(1.0)) {
-                TransferDecision::Stage if self.pool_left >= need => {
-                    self.table[r] = machine.alloc_device(len);
-                    self.pool_left -= need;
+            let home = self.home(r);
+            match self.policy.decide_tiered(r, density.min(1.0), home) {
+                TierDecision::StageToHbm if self.budgets.hbm.try_charge(need) => {
+                    self.table[r] = self.alloc_slot(machine, len, need);
                     self.stats.staged_regions += 1;
                     self.stats.staged_bytes += len;
                     staged_count += 1;
+                    if home == MemoryTier::Cxl {
+                        // Promotions stream over the CXL link, never the
+                        // PCIe copy lane — and the prefetcher only ever
+                        // speculates host-homed regions, so there is no
+                        // adoption path here.
+                        self.stats.cxl_staged_regions += 1;
+                        self.stats.cxl_staged_bytes += len;
+                        cxl_copy_bytes += len;
+                        continue;
+                    }
                     // A speculative copy of this region is already on (or
                     // past) the async lane: adopt it instead of paying a
                     // demand copy.
@@ -343,11 +437,11 @@ impl TransferManager {
                         None => copy_bytes += len,
                     }
                 }
-                TransferDecision::Stage => {
+                TierDecision::StageToHbm => {
                     self.stats.pool_fallbacks += 1;
                     self.policy.note_zero_copy(r, density);
                 }
-                TransferDecision::ZeroCopy => {
+                TierDecision::ZeroCopyHost | TierDecision::ServeCxl => {
                     self.policy.note_zero_copy(r, density);
                 }
             }
@@ -358,6 +452,9 @@ impl TransferManager {
         }
         if copy_bytes > 0 {
             machine.memcpy_to_device(copy_bytes);
+        }
+        if cxl_copy_bytes > 0 {
+            machine.memcpy_cxl_to_device(cxl_copy_bytes);
         }
         if let Some(p) = pf {
             if adopted_bytes > 0 {
@@ -376,10 +473,54 @@ impl TransferManager {
                 p.stats.hidden_ns += hidden_estimate.saturating_sub(wait);
             }
             // Re-charge surviving speculative stages from what the
-            // demand decisions left over; evict the rest.
-            self.spec_charged = p.recharge(&mut self.pool_left);
+            // demand decisions left over; evict the rest. `recharge`
+            // debits the free pool by exactly the surviving charge, which
+            // the ledger then records as speculative.
+            let mut free = self.budgets.hbm.free();
+            let surviving = p.recharge(&mut free);
+            self.budgets.hbm.move_free_to_spec(surviving);
         }
-        staged_count > 0
+        staged_count > 0 || demoted > 0
+    }
+
+    /// Demote staged regions untouched for `demote_cold_after` rounds,
+    /// coldest first: the region's slot returns to the free list, its
+    /// pool charge is credited back, and its zero-copy history is reset
+    /// so re-promotion must be re-earned (no thrash loop). Demotion moves
+    /// no bytes — staging *copies*, it never migrates, so the home tier
+    /// still holds the data. Returns the number of regions demoted.
+    fn demote_cold(&mut self) -> u64 {
+        let Some(cold_after) = self.demote_cold_after else {
+            return 0;
+        };
+        let mut cold: Vec<(u32, u32)> = (0..self.table.len())
+            .filter(|&r| self.table[r] != UNMAPPED && self.round - self.last_hot[r] >= cold_after)
+            .map(|r| (self.last_hot[r], r as u32))
+            .collect();
+        // Coldest first, region index as the deterministic tiebreak.
+        cold.sort_unstable();
+        for &(_, r) in &cold {
+            let r = r as usize;
+            let len = self.region_len(r);
+            let need = len.div_ceil(128) * 128;
+            self.free_slots.push((self.table[r], need));
+            self.table[r] = UNMAPPED;
+            self.budgets.hbm.credit(need);
+            self.policy.reset(r);
+            self.stats.demoted_regions += 1;
+        }
+        cold.len() as u64
+    }
+
+    /// Device address for a staged region: reuse the oldest demoted slot
+    /// of the right size, or carve a fresh allocation. Slot reuse keeps
+    /// the bump allocator's capacity from being re-consumed across
+    /// demote/re-stage cycles.
+    fn alloc_slot(&mut self, machine: &mut Machine, len: u64, need: u64) -> u64 {
+        match self.free_slots.iter().position(|&(_, sz)| sz == need) {
+            Some(pos) => self.free_slots.remove(pos).0,
+            None => machine.alloc_device(len),
+        }
     }
 
     /// Feed the asynchronous copy lane for the next iteration: rank
@@ -390,13 +531,17 @@ impl TransferManager {
     /// the copies overlap the kernel that follows.
     pub fn prefetch_for_next(&mut self, at: Time, pf: &mut Prefetcher) {
         pf.observe_round(at, &self.last_touched);
-        let wanted = pf.rank_candidates(
+        let mut wanted = pf.rank_candidates(
             &self.policy,
             &self.table,
             &self.last_touched,
             self.region_bytes,
             self.len_bytes,
         );
+        // Speculate only into host-homed regions: the asynchronous copy
+        // lane and its retro-accounting model the PCIe path, and CXL
+        // promotions are demand-driven over their own link.
+        wanted.retain(|&r| self.home(r as usize) == MemoryTier::Host);
         for r in wanted {
             let len = self.region_len(r as usize);
             let charge = len.div_ceil(128) * 128;
@@ -407,17 +552,15 @@ impl TransferManager {
                 let Some(freed) = pf.evict_oldest() else {
                     break;
                 };
-                self.spec_charged -= freed;
-                self.pool_left += freed;
+                self.budgets.hbm.move_spec_to_free(freed);
             }
             if pf.slice_used() + charge > pf.slice_bytes() {
                 break; // a region larger than the whole slice
             }
-            if self.pool_left < charge {
+            if self.budgets.hbm.free() < charge {
                 break; // speculate only into real pool slack
             }
-            self.pool_left -= charge;
-            self.spec_charged += charge;
+            self.budgets.hbm.move_free_to_spec(charge);
             pf.issue(r, len, charge, at);
         }
     }
@@ -476,6 +619,7 @@ mod tests {
             region_bytes,
             pool_bytes: pool,
             policy: TransferPolicyConfig::default(),
+            demote_cold_after: None,
         }
     }
 
@@ -622,12 +766,18 @@ mod tests {
             staged_bytes: 300,
             pool_fallbacks: 1,
             staging_rounds: 2,
+            cxl_staged_regions: 2,
+            cxl_staged_bytes: 200,
+            demoted_regions: 1,
         };
         let b = TransferStats {
             staged_regions: 1,
             staged_bytes: 100,
             pool_fallbacks: 0,
             staging_rounds: 1,
+            cxl_staged_regions: 1,
+            cxl_staged_bytes: 100,
+            demoted_regions: 0,
         };
         let d = a - b;
         assert_eq!(d.staged_regions, 2);
@@ -643,6 +793,152 @@ mod tests {
     fn non_power_of_two_region_rejected() {
         let m = machine();
         let _ = TransferManager::new(&m, 1 << 20, cfg(48 << 10, None));
+    }
+
+    // ----------------------------------------------- N-tier placement
+
+    use emogi_sim::cxl::CxlConfig;
+
+    fn cxl_machine() -> Machine {
+        Machine::new(MachineConfig::v100_gen3().with_cxl(CxlConfig::external_x8()))
+    }
+
+    #[test]
+    fn homes_split_at_the_host_byte_boundary() {
+        let m = machine();
+        let tm = TransferManager::with_tiers(&m, 256 << 10, 128 << 10, cfg(64 << 10, None));
+        assert_eq!(tm.home(0), MemoryTier::Host);
+        assert_eq!(tm.home(1), MemoryTier::Host);
+        assert_eq!(tm.home(2), MemoryTier::Cxl);
+        assert_eq!(tm.home(3), MemoryTier::Cxl);
+        assert_eq!(tm.tier_budgets().host.free(), 128 << 10);
+        assert_eq!(tm.tier_budgets().cxl.free(), 128 << 10);
+        // A fully host-resident array has no CXL-homed regions.
+        let tm = TransferManager::new(&m, 256 << 10, cfg(64 << 10, None));
+        assert_eq!(tm.home(3), MemoryTier::Host);
+        assert_eq!(tm.tier_budgets().cxl.free(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "region boundary")]
+    fn misaligned_host_split_is_rejected() {
+        let m = machine();
+        let _ = TransferManager::with_tiers(&m, 256 << 10, 100 << 10, cfg(64 << 10, None));
+    }
+
+    /// A CXL-homed region promotes over the CXL link — at the *lower*
+    /// rent/buy point — and the copy never touches the PCIe counters.
+    #[test]
+    fn cxl_homed_region_promotes_over_the_cxl_link() {
+        let mut m = cxl_machine();
+        let mut tm = TransferManager::with_tiers(&m, 128 << 10, 64 << 10, cfg(64 << 10, None));
+        // 0.41-dense rounds on the CXL-homed region 1: threshold 0.75 is
+        // crossed on the second round (0.41 + 0.41), where the host-homed
+        // region 0 with identical traffic still rents (threshold 1.5).
+        for _ in 0..2 {
+            tm.note_upcoming(0, 26 << 10);
+            tm.note_upcoming(64 << 10, 90 << 10);
+            tm.plan(&mut m);
+        }
+        assert!(tm.is_staged(1), "CXL home promotes at the lower threshold");
+        assert!(!tm.is_staged(0), "host home still rents");
+        assert_eq!(tm.stats.cxl_staged_regions, 1);
+        assert_eq!(tm.stats.cxl_staged_bytes, 64 << 10);
+        assert_eq!(m.dma.bytes_to_device, 0, "no PCIe copy for a promotion");
+        assert_eq!(m.monitor.dma_bytes, 0);
+        assert_eq!(m.cxl.as_ref().unwrap().bulk_bytes, 64 << 10);
+    }
+
+    /// Demotion is coldest-first and frees budget + slot for hot regions;
+    /// the demoted region's history resets so re-promotion is re-earned.
+    #[test]
+    fn demotion_is_coldest_first_and_credits_the_pool() {
+        let mut m = machine();
+        let mut tm = TransferManager::new(
+            &m,
+            256 << 10,
+            TransferConfig {
+                demote_cold_after: Some(2),
+                ..cfg(64 << 10, Some(128 << 10))
+            },
+        );
+        // Round 1: stage region 0. Round 2: stage region 1 (keeping 0
+        // cold from here on).
+        tm.note_upcoming(0, 64 << 10);
+        tm.plan(&mut m);
+        tm.note_upcoming(64 << 10, 128 << 10);
+        tm.plan(&mut m);
+        let slot0 = tm.table[0];
+        let slot1 = tm.table[1];
+        assert!(tm.is_staged(0) && tm.is_staged(1));
+        assert_eq!(tm.pool_left(), 0);
+        // Round 3: only region 1 stays hot; region 0 has now gone two
+        // rounds (2 and 3) without a touch and demotes.
+        let changed = tm.plan_iteration(&mut m, [(64u64 << 10, 128u64 << 10)]);
+        assert!(changed, "demotion must report a table change");
+        assert!(!tm.is_staged(0), "cold region demoted");
+        assert!(tm.is_staged(1), "hot region survives");
+        assert_eq!(tm.stats.demoted_regions, 1);
+        assert_eq!(tm.pool_left(), 64 << 10, "slot budget credited back");
+        assert_eq!(tm.policy.cumulative_density(0), 0.0, "history reset");
+        // Region 2 stages next and must reuse region 0's slot (coldest
+        // demoted first, FIFO reuse) — the bump allocator does not grow.
+        let used = m.spaces.device_used();
+        tm.note_upcoming(128 << 10, 192 << 10);
+        tm.plan(&mut m);
+        assert_eq!(tm.table[2], slot0, "coldest demoted slot reused first");
+        assert_ne!(tm.table[2], slot1);
+        assert_eq!(m.spaces.device_used(), used, "no fresh device allocation");
+    }
+
+    /// A single demotion pass over several equally cold regions orders
+    /// them deterministically by region index (the tiebreak after
+    /// staleness), which fixes the slot-reuse order.
+    #[test]
+    fn demotion_ordering_is_by_staleness_then_region() {
+        let mut m = machine();
+        let mut tm = TransferManager::new(
+            &m,
+            256 << 10,
+            TransferConfig {
+                demote_cold_after: Some(2),
+                ..cfg(64 << 10, None)
+            },
+        );
+        // Round 1: stage regions 0 and 1 together; rounds 2-3 keep only
+        // region 3 hot, so both go cold in the same round-3 pass.
+        tm.note_upcoming(0, 128 << 10);
+        tm.plan(&mut m);
+        tm.note_upcoming(192 << 10, 256 << 10);
+        tm.plan(&mut m);
+        assert!(tm.is_staged(0) && tm.is_staged(1));
+        tm.note_upcoming(192 << 10, 256 << 10);
+        tm.plan(&mut m);
+        assert!(!tm.is_staged(0) && !tm.is_staged(1), "both cold demoted");
+        assert_eq!(tm.stats.demoted_regions, 2);
+        // Equal staleness: region index orders the free list.
+        assert_eq!(tm.free_slots.len(), 2);
+        assert!(tm.free_slots[0].0 < tm.free_slots[1].0);
+    }
+
+    /// The prefetcher never speculates CXL-homed regions: the async copy
+    /// lane models the PCIe path only.
+    #[test]
+    fn prefetcher_skips_cxl_homed_regions() {
+        let mut m = cxl_machine();
+        let mut tm = TransferManager::with_tiers(&m, 128 << 10, 64 << 10, cfg(64 << 10, None));
+        let mut pf = prefetcher(&m, &tm);
+        // Recurring sub-threshold traffic on both homes: region 1 (CXL)
+        // promotes on demand at its lower threshold and must never appear
+        // on the speculative lane.
+        for _ in 0..3 {
+            tm.note_upcoming(0, 26 << 10);
+            tm.note_upcoming(64 << 10, 80 << 10);
+            tm.plan_pipelined(&mut m, &mut pf);
+            tm.prefetch_for_next(m.now, &mut pf);
+        }
+        assert!(!pf.is_speculative(1), "CXL home never speculated");
+        assert_eq!(pf.stats.prefetched_regions, 1, "host home speculated");
     }
 
     // ----------------------------------------------- pipelined path
@@ -738,12 +1034,12 @@ mod tests {
         }
         assert!(pf.is_speculative(1));
         assert_eq!(tm.pool_left(), 0);
-        assert_eq!(tm.spec_charged, 64 << 10);
+        assert_eq!(tm.budgets.hbm.spec(), 64 << 10);
         // Reserve the whole pool: the speculative charge is the only
         // headroom left, so it must be consumed — not just `pool_left`
         // saturated to zero with the charge still outstanding.
         tm.reserve(64 << 10);
-        assert_eq!(tm.spec_charged, 0);
+        assert_eq!(tm.budgets.hbm.spec(), 0);
         assert_eq!(tm.pool_left(), 0);
         // The next round settles: the speculation is evicted (its budget
         // is gone) and — the regression this guards — no pool bytes

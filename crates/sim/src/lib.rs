@@ -19,6 +19,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cxl;
 pub mod dma;
 pub mod dram;
 pub mod events;
@@ -28,6 +29,7 @@ pub mod pcie;
 pub mod pipeline;
 pub mod time;
 
+pub use cxl::{CxlConfig, CxlLink};
 pub use dma::DmaEngine;
 pub use dram::{Dram, DramConfig};
 pub use events::EventQueue;

@@ -23,8 +23,10 @@
 
 pub mod driver;
 pub mod policy;
+pub mod tier;
 pub mod transfer;
 
 pub use driver::{BatchResult, PageId, PageState, UvmDriver, UvmStats};
 pub use policy::UvmConfig;
+pub use tier::{MemoryTier, TierDecision};
 pub use transfer::{TransferDecision, TransferPolicy, TransferPolicyConfig};

@@ -50,6 +50,14 @@ pub struct TransferPolicyConfig {
     /// Stage when cumulative + upcoming zero-copy density reaches this
     /// many region-sizes (the ski-rental rent/buy point).
     pub stage_threshold: f64,
+    /// Rent/buy point for regions homed in the CXL external tier
+    /// ([`MemoryTier::Cxl`](crate::tier::MemoryTier::Cxl)). Serving a byte
+    /// from CXL costs more than serving it from host DRAM (µs-class round
+    /// trips, lower bandwidth), so the promotion threshold sits *below*
+    /// [`stage_threshold`](Self::stage_threshold): a CXL-homed region buys
+    /// its copy into HBM sooner. Irrelevant — and unread — when no CXL
+    /// tier is configured.
+    pub cxl_stage_threshold: f64,
 }
 
 impl Default for TransferPolicyConfig {
@@ -57,6 +65,7 @@ impl Default for TransferPolicyConfig {
         Self {
             dense_now: 1.0,
             stage_threshold: 1.5,
+            cxl_stage_threshold: 0.75,
         }
     }
 }
@@ -112,6 +121,54 @@ impl TransferPolicy {
     /// iteration (because it was not staged, by decision or by budget).
     pub fn note_zero_copy(&mut self, r: usize, density: f64) {
         self.cumulative[r] += density;
+    }
+
+    /// Three-way tier decision for region `r`, homed in `home`, with an
+    /// iteration about to read `upcoming` of it. Pure, like
+    /// [`decide`](Self::decide) — commit a stay-in-place outcome with
+    /// [`note_zero_copy`](Self::note_zero_copy).
+    ///
+    /// For [`MemoryTier::Host`](crate::tier::MemoryTier::Host) homes this
+    /// is *exactly* [`decide`](Self::decide) mapped onto the three-way
+    /// enum, which is what makes a CXL-disabled N-tier engine tick-identical
+    /// to the two-tier one. [`MemoryTier::Hbm`](crate::tier::MemoryTier::Hbm)
+    /// homes are already resident. CXL homes apply the same ski-rental rule
+    /// against the lower [`cxl_stage_threshold`](TransferPolicyConfig::cxl_stage_threshold).
+    pub fn decide_tiered(
+        &self,
+        r: usize,
+        upcoming: f64,
+        home: crate::tier::MemoryTier,
+    ) -> crate::tier::TierDecision {
+        use crate::tier::{MemoryTier, TierDecision};
+        match home {
+            MemoryTier::Hbm => TierDecision::StageToHbm,
+            MemoryTier::Host => match self.decide(r, upcoming) {
+                TransferDecision::Stage => TierDecision::StageToHbm,
+                TransferDecision::ZeroCopy => TierDecision::ZeroCopyHost,
+            },
+            MemoryTier::Cxl => {
+                debug_assert!((0.0..=1.0).contains(&upcoming), "density {upcoming}");
+                if upcoming <= 0.0 {
+                    return TierDecision::ServeCxl;
+                }
+                if upcoming >= self.cfg.dense_now
+                    || self.cumulative[r] + upcoming >= self.cfg.cxl_stage_threshold
+                {
+                    TierDecision::StageToHbm
+                } else {
+                    TierDecision::ServeCxl
+                }
+            }
+        }
+    }
+
+    /// Forget region `r`'s zero-copy history. Called when a staged region
+    /// is demoted out of HBM: its next promotion must be re-earned from a
+    /// clean slate, otherwise stale density would re-promote it instantly
+    /// and the demotion loop would thrash.
+    pub fn reset(&mut self, r: usize) {
+        self.cumulative[r] = 0.0;
     }
 }
 
@@ -169,6 +226,7 @@ mod tests {
             TransferPolicyConfig {
                 dense_now: 0.5,
                 stage_threshold: 0.75,
+                ..Default::default()
             },
         );
         assert_eq!(eager.decide(0, 0.5), TransferDecision::Stage);

@@ -4,7 +4,8 @@
 //! users can depend on a single crate. See the individual crates for the
 //! substance:
 //!
-//! * [`sim`] — PCIe link, DRAM, traffic monitor (the FPGA stand-in)
+//! * [`sim`] — PCIe link, CXL external-memory link, DRAM, traffic
+//!   monitor (the FPGA stand-in)
 //! * [`gpu`] — SIMT warps, coalescing unit, sectored cache
 //! * [`uvm`] — Unified Virtual Memory driver model
 //! * [`runtime`] — kernel executor wiring the above together
@@ -64,7 +65,7 @@ pub mod prelude {
     };
     pub use emogi_runtime::{
         DeviceGroup, DeviceGroupConfig, Machine, MachineConfig, PrefetchConfig, PrefetchStats,
-        Prefetcher, RunStats, TransferConfig, TransferStats,
+        Prefetcher, RunStats, TierBudget, TierBudgets, TransferConfig, TransferStats,
     };
     pub use emogi_serve::{
         Priority, QoS, Query, QueryId, QueryKind, QueryOutcome, QueryResult, QueryServer,
@@ -72,4 +73,6 @@ pub mod prelude {
         SubmitError,
     };
     pub use emogi_sim::interconnect::PeerLinkConfig;
+    pub use emogi_sim::CxlConfig;
+    pub use emogi_uvm::{MemoryTier, TierDecision};
 }

@@ -215,6 +215,41 @@ fn layout_experiment_produces_table_and_reordering_wins() {
 }
 
 #[test]
+fn tiering_experiment_beats_the_host_spill_baseline() {
+    let tables = experiments::run("tiering", &ctx());
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(t.id, "tiering");
+    // 3 engines; digest equality across engines is asserted inside
+    // measure() itself.
+    assert_eq!(t.rows.len(), 3);
+    for row in &t.rows {
+        assert_eq!(row.len(), t.headers.len());
+    }
+    // Assert on the raw measurements, not the table's rounded cells.
+    let r = experiments::tiering::measure(&ctx());
+    let spill = r.get("host-spill");
+    let tiered = r.get("three-tier");
+    let two_tier = r.get("two-tier (unbounded)");
+    assert!(r.cxl_home_bytes > 0, "nothing spilled to the CXL tier");
+    assert!(
+        spill.cxl_bytes > 0,
+        "the baseline never touched the CXL tier"
+    );
+    assert!(
+        tiered.total_ns < spill.total_ns,
+        "three-tier {} must beat host-spill {}",
+        tiered.total_ns,
+        spill.total_ns
+    );
+    assert!(tiered.staged_regions > 0, "the tiered run never staged");
+    assert!(
+        two_tier.cxl_bytes == 0,
+        "the unbounded-host reference touched the CXL tier"
+    );
+}
+
+#[test]
 #[should_panic(expected = "unknown experiment id")]
 fn unknown_id_is_rejected() {
     let _ = experiments::run("fig99", &ctx());

@@ -1,0 +1,9 @@
+// Known-bad: a tier-placement policy that reads wall clocks — the same
+// traversal then places regions on different tiers across runs, and the
+// cross-config output-digest equality the tiering experiment asserts
+// has nothing left to stand on.
+pub fn decide_tiered(cumulative: f64, threshold: f64) -> bool {
+    let since_boot = std::time::Instant::now().elapsed().as_nanos();
+    let wall = std::time::SystemTime::now();
+    wall.elapsed().is_ok() && cumulative + (since_boot % 2) as f64 >= threshold
+}

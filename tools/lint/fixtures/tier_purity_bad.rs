@@ -1,0 +1,14 @@
+// Known-bad: a tier decision reading live machine state. Placement must
+// be a pure function of the planner's iteration-start densities, or the
+// set of staged/promoted regions — and every address and counter
+// downstream of it — would depend on how warp tasks interleaved in the
+// simulated machine.
+pub struct TierPolicy;
+
+impl TierPolicy {
+    fn decide_tiered(&self, m: &Machine, r: usize) -> bool {
+        let cut = m.now; // live clock as a placement input
+        let seen = m.monitor.bytes_to_device(); // live traffic as an input
+        self.cumulative[r] >= self.threshold(cut, seen)
+    }
+}

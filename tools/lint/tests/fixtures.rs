@@ -38,8 +38,18 @@ modules = [
     "prefetch_purity_good.rs",
     "reorder_purity_bad.rs",
     "reorder_purity_good.rs",
+    "tier_purity_bad.rs",
+    "tier_purity_good.rs",
 ]
-hooks = ["next_task", "step", "visit_edge", "open_vertex", "rank_candidates", "segment_key"]
+hooks = [
+    "next_task",
+    "step",
+    "visit_edge",
+    "open_vertex",
+    "rank_candidates",
+    "segment_key",
+    "decide_tiered",
+]
 disallowed = ["source_ctx", "begin_iteration", "post_iteration", "Machine", "now", "monitor"]
 
 [rules.float-fold]
@@ -286,6 +296,58 @@ fn pipeline_unordered_good_is_clean() {
 }
 
 #[test]
+fn tier_ambient_bad_fires() {
+    let d = lint_source(
+        "tier_ambient_bad.rs",
+        &fixture("tier_ambient_bad.rs"),
+        &fixture_cfg(),
+    );
+    assert_eq!(
+        fired(&d, rules::AMBIENT_NONDET),
+        2,
+        "Instant::now + SystemTime in a tier policy should both fire:\n{}",
+        render(&d)
+    );
+    assert_eq!(d.len(), 2, "no other rule should fire:\n{}", render(&d));
+}
+
+#[test]
+fn tier_ambient_good_is_clean() {
+    let d = lint_source(
+        "tier_ambient_good.rs",
+        &fixture("tier_ambient_good.rs"),
+        &fixture_cfg(),
+    );
+    assert!(d.is_empty(), "{}", render(&d));
+}
+
+#[test]
+fn tier_purity_bad_fires() {
+    let d = lint_source(
+        "tier_purity_bad.rs",
+        &fixture("tier_purity_bad.rs"),
+        &fixture_cfg(),
+    );
+    assert_eq!(
+        fired(&d, rules::KERNEL_PURITY),
+        2,
+        "live clock + monitor read in decide_tiered should both fire:\n{}",
+        render(&d)
+    );
+    assert_eq!(d.len(), 2, "no other rule should fire:\n{}", render(&d));
+}
+
+#[test]
+fn tier_purity_good_is_clean() {
+    let d = lint_source(
+        "tier_purity_good.rs",
+        &fixture("tier_purity_good.rs"),
+        &fixture_cfg(),
+    );
+    assert!(d.is_empty(), "{}", render(&d));
+}
+
+#[test]
 fn float_fold_bad_fires() {
     let d = lint_source(
         "float_fold_bad.rs",
@@ -470,6 +532,29 @@ fn live_machine_read_in_segment_key_fires() {
     assert!(
         fired(&d, rules::KERNEL_PURITY) >= 1,
         "live machine read in the reorder key must fire:\n{}",
+        render(&d)
+    );
+}
+
+/// The N-tier placement policy is under the same purity gate: re-
+/// introducing a live machine/clock read into a `decide_tiered` body
+/// fires kernel-purity on the real UVM transfer-policy module.
+#[test]
+fn live_machine_read_in_decide_tiered_fires() {
+    let cfg = workspace_cfg();
+    let path = "crates/uvm/src/transfer.rs";
+    let src = real(path);
+    assert!(
+        lint_source(path, &src, &cfg).is_empty(),
+        "intact transfer-policy module clean"
+    );
+    let mutated = format!(
+        "{src}\nimpl Regress {{ fn decide_tiered(&self, m: &Machine) -> u64 {{ m.now }} }}\n"
+    );
+    let d = lint_source(path, &mutated, &cfg);
+    assert!(
+        fired(&d, rules::KERNEL_PURITY) >= 1,
+        "live machine read in the tier decision must fire:\n{}",
         render(&d)
     );
 }
